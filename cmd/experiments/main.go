@@ -1,0 +1,45 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation plus the beyond-paper experiments. Run with -run all or a
+// comma-separated subset; see internal/experiments for the registry.
+//
+// Usage:
+//
+//	experiments -run all [-scale 1.0] [-seed 1] [-top 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sqlclean/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment to run (comma-separated), or 'all'")
+		scale = flag.Float64("scale", 1.0, "workload size multiplier")
+		seed  = flag.Int64("seed", 1, "workload random seed")
+		top   = flag.Int("top", 5, "rows to print in top-k tables")
+		list  = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, ex := range experiments.All() {
+			fmt.Printf("%-10s %s\n", ex.Name, ex.Title)
+		}
+		return
+	}
+	err := experiments.Run(os.Stdout, experiments.Options{
+		Names: strings.Split(*run, ","),
+		Scale: *scale,
+		Seed:  *seed,
+		Top:   *top,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+}

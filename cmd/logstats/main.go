@@ -1,0 +1,75 @@
+// Command logstats prints a SkyServer-Traffic-Report-style summary of a
+// query log: activity per period, statement classes, session shapes, user
+// concentration and top users.
+//
+// Usage:
+//
+//	logstats [-format tsv|csv] [-period 720h] [-top 10] [log file]
+//
+// With no file argument the log is read from stdin.
+package main
+
+import (
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"sqlclean"
+)
+
+func main() {
+	var (
+		format = flag.String("format", "tsv", "input format: tsv or csv (SkyServer SqlLog export)")
+		period = flag.Duration("period", 30*24*time.Hour, "activity bucket width")
+		top    = flag.Int("top", 10, "number of top users to print")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+		if strings.HasSuffix(flag.Arg(0), ".gz") {
+			zr, err := gzip.NewReader(f)
+			if err != nil {
+				fatal(err)
+			}
+			defer zr.Close()
+			r = zr
+		}
+	}
+	var log sqlclean.Log
+	var err error
+	switch *format {
+	case "tsv":
+		log, err = sqlclean.ReadLogTSV(r)
+	case "csv":
+		log, err = sqlclean.ReadSkyServerCSV(r)
+	default:
+		fatal(fmt.Errorf("unknown -format %q", *format))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	log.SortStable()
+
+	rep := sqlclean.ComputeTraffic(log, sqlclean.TrafficOptions{Period: *period, TopN: *top})
+	fmt.Print(rep)
+	fmt.Println("\nactivity per period:")
+	for _, p := range rep.ByPeriod {
+		fmt.Printf("  %s  %7d queries from %4d users\n", p.Start.Format("2006-01-02"), p.Queries, p.Users)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "logstats:", err)
+	os.Exit(1)
+}

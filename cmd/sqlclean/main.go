@@ -1,0 +1,200 @@
+// Command sqlclean runs the full antipattern-cleaning pipeline over a query
+// log in TSV format and reports statistics.
+//
+// Usage:
+//
+//	sqlclean [-dup 1s] [-gap 5m] [-no-key-check] [-no-users]
+//	         [-clean out.tsv] [-removal out.tsv] [-top 15] log.tsv
+//
+// With no file argument the log is read from stdin.
+package main
+
+import (
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"sqlclean"
+)
+
+func main() {
+	var (
+		dup        = flag.Duration("dup", time.Second, "duplicate time threshold (0 keeps the default 1s; use -no-dedup to disable)")
+		noDedup    = flag.Bool("no-dedup", false, "skip duplicate deletion")
+		gap        = flag.Duration("gap", 5*time.Minute, "session gap: maximum time between queries of one pattern instance")
+		noKeyCheck = flag.Bool("no-key-check", false, "drop Definition 11's key-attribute requirement for Stifles")
+		noUsers    = flag.Bool("no-users", false, "ignore user/session columns (paper §6.8 minimal-input mode)")
+		format     = flag.String("format", "tsv", "input format: tsv (time/user/session/rows/statement) or csv (SkyServer SqlLog export)")
+		fixpoint   = flag.Bool("fixpoint", false, "re-solve until no solvable antipattern remains (§5.5)")
+		cleanOut   = flag.String("clean", "", "write the cleaned log to this file")
+		removalOut = flag.String("removal", "", "write the removal log (antipatterns dropped) to this file")
+		jsonOut    = flag.String("json", "", "write the full analysis (report, templates, instances) as JSON to this file")
+		streaming  = flag.Bool("stream", false, "bounded-memory streaming mode (TSV input only): sessions are cleaned and written as they close")
+		top        = flag.Int("top", 15, "number of top patterns/antipatterns to print")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+		if strings.HasSuffix(flag.Arg(0), ".gz") {
+			zr, err := gzip.NewReader(f)
+			if err != nil {
+				fatal(err)
+			}
+			defer zr.Close()
+			r = zr
+		}
+	}
+	if *streaming {
+		if *format != "tsv" {
+			fatal(fmt.Errorf("-stream supports tsv input only"))
+		}
+		runStreaming(r, *dup, *gap, *noKeyCheck, *cleanOut)
+		return
+	}
+
+	var log sqlclean.Log
+	var err error
+	switch *format {
+	case "tsv":
+		log, err = sqlclean.ReadLogTSV(r)
+	case "csv":
+		log, err = sqlclean.ReadSkyServerCSV(r)
+	default:
+		fatal(fmt.Errorf("unknown -format %q (want tsv or csv)", *format))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *noUsers {
+		log = log.StripUsers()
+	}
+
+	cfg := sqlclean.Config{
+		DuplicateThreshold: *dup,
+		NoDedup:            *noDedup,
+		SessionGap:         *gap,
+		DisableKeyCheck:    *noKeyCheck,
+		SolveToFixpoint:    *fixpoint,
+	}
+	res, err := sqlclean.Clean(log, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Print(res.Report)
+	fmt.Println()
+	anti := res.AntipatternTemplates()
+	fmt.Printf("Top %d patterns (★ marks templates involved in antipatterns):\n", *top)
+	for i, t := range res.Templates {
+		if i >= *top {
+			break
+		}
+		mark := " "
+		if anti[t.Fingerprint] {
+			mark = "★"
+		}
+		sws := ""
+		if res.SWS[t.Fingerprint] {
+			sws = " [SWS]"
+		}
+		fmt.Printf("%2d. %s freq=%-8d users=%-5d %s%s\n", i+1, mark, t.Frequency, t.UserPopularity, truncate(t.Skeleton, 100), sws)
+	}
+	fmt.Println()
+	for _, s := range res.Report.SolveStats {
+		fmt.Printf("solved %-10s: %d instances, %d → %d queries\n", s.Kind, s.Solved, s.QueriesBefore, s.QueriesAfter)
+	}
+
+	if *cleanOut != "" {
+		if err := writeLog(*cleanOut, res.Clean); err != nil {
+			fatal(err)
+		}
+	}
+	if *removalOut != "" {
+		if err := writeLog(*removalOut, res.Removal); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := sqlclean.WriteResultJSON(f, res, 0); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func writeLog(path string, l sqlclean.Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return sqlclean.WriteLogTSV(f, l)
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sqlclean:", err)
+	os.Exit(1)
+}
+
+// runStreaming cleans the log with the bounded-memory streaming pipeline,
+// writing cleaned entries as their sessions close.
+func runStreaming(r io.Reader, dup, gap time.Duration, noKeyCheck bool, cleanOut string) {
+	out := os.Stdout
+	if cleanOut != "" {
+		f, err := os.Create(cleanOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	p := sqlclean.NewStream(sqlclean.StreamConfig{
+		DuplicateThreshold: dup,
+		SessionGap:         gap,
+		DisableKeyCheck:    noKeyCheck,
+	})
+	emit := func(l sqlclean.Log) {
+		if len(l) > 0 {
+			if err := sqlclean.WriteLogTSV(out, l); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	err := sqlclean.ScanLogTSV(r, func(e sqlclean.Entry) error {
+		emitted, err := p.Add(e)
+		if err != nil {
+			return err
+		}
+		emit(emitted)
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	emit(p.Close())
+	st := p.Stats()
+	fmt.Fprintf(os.Stderr, "stream: %d in, %d selects, %d duplicates, %d out, %d queries solved away\n",
+		st.In, st.Selects, st.Duplicates, st.Out, st.Selects-st.Duplicates-st.Out)
+}

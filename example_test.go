@@ -1,0 +1,74 @@
+package sqlclean_test
+
+import (
+	"fmt"
+	"time"
+
+	"sqlclean"
+)
+
+// ExampleClean replays the paper's running example (Table 1): the DW-Stifle
+// follow-up queries are merged into one IN query (Table 3).
+func ExampleClean() {
+	base := time.Date(2026, 1, 2, 10, 0, 0, 0, time.UTC)
+	queryLog := sqlclean.Log{
+		{Time: base, User: "u", Statement: "SELECT E.Id FROM Employees E WHERE E.department = 'sales'"},
+		{Time: base.Add(1 * time.Second), User: "u", Statement: "SELECT E.name, E.surname FROM Employees E WHERE E.id = 12"},
+		{Time: base.Add(2 * time.Second), User: "u", Statement: "SELECT E.name, E.surname FROM Employees E WHERE E.id = 15"},
+		{Time: base.Add(3 * time.Second), User: "u", Statement: "SELECT E.name, E.surname FROM Employees E WHERE E.id = 16"},
+	}
+	res, err := sqlclean.Clean(queryLog, sqlclean.Config{})
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range res.Clean {
+		fmt.Println(e.Statement)
+	}
+	// Output:
+	// SELECT E.Id FROM Employees E WHERE E.department = 'sales'
+	// SELECT E.id, E.name, E.surname FROM Employees AS E WHERE E.id IN (12, 15, 16)
+}
+
+// ExampleAnalyze detects without rewriting: the instances report what the
+// log contains.
+func ExampleAnalyze() {
+	base := time.Date(2026, 1, 2, 10, 0, 0, 0, time.UTC)
+	queryLog := sqlclean.Log{
+		{Time: base, User: "u", Statement: "SELECT name FROM Employees WHERE id = 8"},
+		{Time: base.Add(time.Second), User: "u", Statement: "SELECT name FROM Employees WHERE id = 9"},
+		{Time: base.Add(2 * time.Second), User: "u", Statement: "SELECT * FROM Employees WHERE phone = NULL"},
+	}
+	res, err := sqlclean.Analyze(queryLog, sqlclean.Config{})
+	if err != nil {
+		panic(err)
+	}
+	for _, in := range res.Instances {
+		fmt.Printf("%s over %d queries (solvable: %v)\n", in.Kind, in.Len(), in.Solvable)
+	}
+	fmt.Println("log unchanged:", len(res.Clean) == len(queryLog))
+	// Output:
+	// DW-Stifle over 2 queries (solvable: true)
+	// SNC over 1 queries (solvable: true)
+	// log unchanged: true
+}
+
+// ExampleOverlapDistance shows the §6.9 clustering distance: identical
+// regions are at distance 0, disjoint ones at 1.
+func ExampleOverlapDistance() {
+	base := time.Date(2026, 1, 2, 10, 0, 0, 0, time.UTC)
+	queryLog := sqlclean.Log{
+		{Time: base, User: "u", Statement: "SELECT a FROM t WHERE id = 5"},
+		{Time: base.Add(time.Minute), User: "u", Statement: "SELECT b FROM t WHERE id = 5"},
+		{Time: base.Add(2 * time.Minute), User: "u", Statement: "SELECT a FROM t WHERE id = 6"},
+	}
+	res, err := sqlclean.Analyze(queryLog, sqlclean.Config{})
+	if err != nil {
+		panic(err)
+	}
+	q := res.Parsed
+	fmt.Println(sqlclean.OverlapDistance(q[0].Info, q[1].Info))
+	fmt.Println(sqlclean.OverlapDistance(q[0].Info, q[2].Info))
+	// Output:
+	// 0
+	// 1
+}

@@ -1,0 +1,112 @@
+// Extending the framework with a custom antipattern (paper §5.4).
+//
+// The paper describes the extension recipe: formalize the new antipattern,
+// provide a detection rule, and — if possible — a solving solution, then
+// plug both into the pipeline. This example adds "Implicit Columns"
+// (SELECT * — antipattern 10 in Karwin's SQL Antipatterns): the detection
+// rule flags star-selects over a single cataloged table, and the solver
+// rewrites them to name the columns explicitly.
+//
+// Run with: go run ./examples/extend
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"sqlclean"
+)
+
+// KindImplicitColumns is the custom antipattern kind.
+const KindImplicitColumns = sqlclean.Kind("ImplicitColumns")
+
+// implicitColumnsRule detects SELECT * queries over exactly one cataloged
+// table. It is a single-query pattern, like the built-in SNC.
+type implicitColumnsRule struct {
+	catalog *sqlclean.Catalog
+}
+
+func (r *implicitColumnsRule) Kind() sqlclean.Kind { return KindImplicitColumns }
+
+func (r *implicitColumnsRule) Detect(pl sqlclean.ParsedLog, sess sqlclean.Session) []sqlclean.Instance {
+	var out []sqlclean.Instance
+	for _, idx := range sess.Indices {
+		e := pl[idx]
+		if e.Info == nil || len(e.Info.TableNames) != 1 {
+			continue
+		}
+		if len(e.Info.SelectCols) != 1 || e.Info.SelectCols[0] != "*" {
+			continue
+		}
+		if _, ok := r.catalog.Table(e.Info.TableNames[0]); !ok {
+			continue
+		}
+		skel := e.Info.SkeletonText()
+		out = append(out, sqlclean.Instance{
+			Kind:     KindImplicitColumns,
+			Indices:  []int{idx},
+			User:     sess.User,
+			Identity: skel,
+			First:    skel,
+			Second:   skel,
+			Solvable: true,
+		})
+	}
+	return out
+}
+
+// implicitColumnsSolver expands the star into the table's column list.
+type implicitColumnsSolver struct {
+	catalog *sqlclean.Catalog
+}
+
+func (s *implicitColumnsSolver) Kind() sqlclean.Kind { return KindImplicitColumns }
+
+func (s *implicitColumnsSolver) Solve(pl sqlclean.ParsedLog, inst sqlclean.Instance) (string, error) {
+	e := pl[inst.Indices[0]]
+	table, ok := s.catalog.Table(e.Info.TableNames[0])
+	if !ok {
+		return "", fmt.Errorf("table %s not in catalog", e.Info.TableNames[0])
+	}
+	var names []string
+	for _, c := range table.Columns {
+		names = append(names, c.Name)
+	}
+	stmt := e.Statement
+	star := strings.Index(stmt, "*")
+	if star < 0 {
+		return "", fmt.Errorf("no star in %q", stmt)
+	}
+	return stmt[:star] + strings.Join(names, ", ") + stmt[star+1:], nil
+}
+
+func main() {
+	catalog := sqlclean.SkyServerCatalog()
+	base := time.Date(2026, 1, 2, 9, 0, 0, 0, time.UTC)
+	queryLog := sqlclean.Log{
+		{Time: base, User: "u1", Statement: "SELECT * FROM specobj WHERE specobjid = 75094094447116288"},
+		{Time: base.Add(time.Minute), User: "u1", Statement: "SELECT name FROM DBObjects WHERE type = 'U'"},
+		{Time: base.Add(2 * time.Minute), User: "u2", Statement: "SELECT * FROM dbobjects WHERE name = 'Galaxy'"},
+	}
+
+	cfg := sqlclean.Config{
+		Catalog:      catalog,
+		ExtraRules:   []sqlclean.Rule{&implicitColumnsRule{catalog: catalog}},
+		ExtraSolvers: []sqlclean.Solver{&implicitColumnsSolver{catalog: catalog}},
+	}
+	res, err := sqlclean.Clean(queryLog, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Detected:")
+	for _, inst := range res.Instances {
+		fmt.Printf("  %-15s %s\n", inst.Kind, inst.Identity)
+	}
+	fmt.Println("\nClean log:")
+	for _, e := range res.Clean {
+		fmt.Printf("  %s\n", e.Statement)
+	}
+}

@@ -1,0 +1,47 @@
+// Quickstart: clean a small SQL query log with the public API.
+//
+// The log below replays the paper's running example (Table 1): a user first
+// resolves an employee id, then issues follow-up queries against that id.
+// The pipeline detects the Circuitous Treasure Hunt and the DW-Stifle and
+// rewrites the solvable Stifle into a single IN query (the paper's Table 3).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sqlclean"
+)
+
+func main() {
+	base := time.Date(2026, 1, 2, 10, 0, 0, 0, time.UTC)
+	entry := func(offset time.Duration, stmt string) sqlclean.Entry {
+		return sqlclean.Entry{Time: base.Add(offset), User: "192.0.2.1", Statement: stmt}
+	}
+	queryLog := sqlclean.Log{
+		entry(0, "SELECT E.Id FROM Employees E WHERE E.department = 'sales'"),
+		entry(1*time.Second, "SELECT E.name, E.surname FROM Employees E WHERE E.id = 12"),
+		entry(2*time.Second, "SELECT E.name, E.surname FROM Employees E WHERE E.id = 15"),
+		entry(3*time.Second, "SELECT E.name, E.surname FROM Employees E WHERE E.id = 16"),
+	}
+
+	res, err := sqlclean.Clean(queryLog, sqlclean.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Detected antipatterns:")
+	for _, inst := range res.Instances {
+		fmt.Printf("  %-9s over %d queries (solvable: %v)\n", inst.Kind, inst.Len(), inst.Solvable)
+	}
+
+	fmt.Println("\nClean query log:")
+	for _, e := range res.Clean {
+		fmt.Printf("  %s  %s\n", e.Time.Format("15:04:05"), e.Statement)
+	}
+
+	fmt.Printf("\n%d statements in, %d statements out\n", len(queryLog), len(res.Clean))
+}

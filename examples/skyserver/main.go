@@ -1,0 +1,65 @@
+// SkyServer case study in miniature (paper §6): generate a synthetic
+// SkyServer-style log, run the full cleaning pipeline and inspect what the
+// case study inspected — the results overview, the most popular patterns
+// with antipatterns marked, and the sliding-window-search bots.
+//
+// Run with: go run ./examples/skyserver [-scale 1.0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sqlclean"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload size multiplier")
+	flag.Parse()
+
+	wcfg := sqlclean.DefaultWorkloadConfig().Scale(*scale)
+	queryLog, _ := sqlclean.GenerateWorkload(wcfg)
+	fmt.Printf("generated %d log entries from %d users\n\n", len(queryLog), queryLog.Users())
+
+	res, err := sqlclean.Clean(queryLog, sqlclean.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Results overview (cf. paper Table 5):")
+	fmt.Print(res.Report)
+
+	anti := res.AntipatternTemplates()
+	fmt.Println("\nTop 15 patterns (cf. paper Fig. 2a; ★ = antipattern, ≈ = SWS):")
+	for i, t := range res.Templates {
+		if i >= 15 {
+			break
+		}
+		first, second := " ", " "
+		if anti[t.Fingerprint] {
+			first = "★"
+		}
+		if res.SWS[t.Fingerprint] {
+			second = "≈"
+		}
+		mark := first + second
+		fmt.Printf("%2d. %s freq=%-6d users=%-4d %s\n", i+1, mark, t.Frequency, t.UserPopularity, short(t.Skeleton))
+	}
+
+	fmt.Println("\nSolving summary:")
+	for _, s := range res.Report.SolveStats {
+		fmt.Printf("  %-10s %4d instances solved, %5d → %4d statements\n",
+			s.Kind, s.Solved, s.QueriesBefore, s.QueriesAfter)
+	}
+	fmt.Printf("\nlog size: %d original → %d clean (%.1f%% reduction)\n",
+		res.Report.SizeOriginal, len(res.Clean),
+		100*(1-float64(len(res.Clean))/float64(res.Report.SizeOriginal)))
+}
+
+func short(s string) string {
+	if len(s) > 90 {
+		return s[:89] + "…"
+	}
+	return s
+}

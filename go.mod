@@ -1,0 +1,3 @@
+module sqlclean
+
+go 1.22

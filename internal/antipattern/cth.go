@@ -1,0 +1,102 @@
+package antipattern
+
+import (
+	"sqlclean/internal/parsedlog"
+	"sqlclean/internal/session"
+	"sqlclean/internal/skeleton"
+	"sqlclean/internal/sqlast"
+)
+
+// CTHRule detects Circuitous-Treasure-Hunt candidates (Definition 15): a
+// head query followed by one or more follower queries where
+//
+//   - the head and the first follower have different skeletons (SQ1 ≠ SQ2),
+//   - every follower has exactly one predicate (CP = 1) with an equality
+//     comparison, and
+//   - the follower's filter column appears among the head query's output
+//     attributes (the structural hint that the head's result feeds the
+//     follower — the paper's "attributes in the SELECT clause of the first
+//     query used in the WHERE clause of the other").
+//
+// Without re-querying only candidates can be detected; deciding whether a
+// candidate is a real CTH needs domain knowledge (§6.6) or, in our
+// reproduction, the workload generator's ground truth.
+type CTHRule struct {
+	Opt Options
+}
+
+// Kind implements Rule.
+func (r *CTHRule) Kind() Kind { return CTH }
+
+// followerOK reports whether follower's single equality predicate draws on
+// one of the head's output columns.
+func followerOK(head, follower *skeleton.Info) bool {
+	if follower.CP() != 1 {
+		return false
+	}
+	p := follower.Predicates[0]
+	if !p.IsEquality() || !p.IsValueFilter() || p.NullCompare {
+		return false
+	}
+	for _, col := range head.SelectCols {
+		if col == "*" || col == p.Column {
+			return true
+		}
+	}
+	return false
+}
+
+// Detect implements Rule. For each head query the follower run is extended
+// greedily; a head+followers group of total length ≥ MinRun is one
+// candidate instance. Heads are only considered outside a previous
+// instance, so instances never overlap.
+func (r *CTHRule) Detect(pl parsedlog.Log, sess session.Session) []Instance {
+	opt := r.Opt.withDefaults()
+	idxs := sess.Indices
+	var out []Instance
+	i := 0
+	for i < len(idxs) {
+		head := pl[idxs[i]]
+		if head.Class != sqlast.ClassSelect || head.Info == nil {
+			i++
+			continue
+		}
+		j := i
+		for j+1 < len(idxs) {
+			next := pl[idxs[j+1]]
+			if next.Class != sqlast.ClassSelect || next.Info == nil {
+				break
+			}
+			// SQ1 ≠ SQ2: the first follower must have a different skeleton
+			// than the head (otherwise this is a Stifle shape, not a CTH).
+			if j == i && next.Info.Fingerprint == head.Info.Fingerprint {
+				break
+			}
+			if !followerOK(head.Info, next.Info) {
+				break
+			}
+			j++
+		}
+		if j-i+1 >= opt.MinRun {
+			members := make([]int, 0, j-i+1)
+			for k := i; k <= j; k++ {
+				members = append(members, idxs[k])
+			}
+			firstSkel := head.Info.SkeletonText()
+			secondSkel := pl[members[1]].Info.SkeletonText()
+			out = append(out, Instance{
+				Kind:     CTH,
+				Indices:  members,
+				User:     sess.User,
+				Identity: firstSkel + " => " + secondSkel,
+				First:    firstSkel,
+				Second:   secondSkel,
+				Solvable: false,
+			})
+			i = j + 1
+			continue
+		}
+		i++
+	}
+	return out
+}

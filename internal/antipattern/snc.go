@@ -1,0 +1,49 @@
+package antipattern
+
+import (
+	"sqlclean/internal/parsedlog"
+	"sqlclean/internal/session"
+	"sqlclean/internal/sqlast"
+)
+
+// SNCRule detects the Searching-Nullable-Columns antipattern
+// (Definition 16, §5.4): a WHERE clause comparing a column to the NULL
+// literal with = or <>. Such comparisons never evaluate to true; the
+// intended semantics is IS [NOT] NULL, which is what the solver rewrites
+// them to. SNC is a single-query pattern (a pattern of length one).
+type SNCRule struct{}
+
+// Kind implements Rule.
+func (r *SNCRule) Kind() Kind { return SNC }
+
+// Detect implements Rule.
+func (r *SNCRule) Detect(pl parsedlog.Log, sess session.Session) []Instance {
+	var out []Instance
+	for _, idx := range sess.Indices {
+		e := pl[idx]
+		if e.Class != sqlast.ClassSelect || e.Info == nil {
+			continue
+		}
+		hasNullCmp := false
+		for _, p := range e.Info.Predicates {
+			if p.NullCompare {
+				hasNullCmp = true
+				break
+			}
+		}
+		if !hasNullCmp {
+			continue
+		}
+		skel := e.Info.SkeletonText()
+		out = append(out, Instance{
+			Kind:     SNC,
+			Indices:  []int{idx},
+			User:     sess.User,
+			Identity: skel,
+			First:    skel,
+			Second:   skel,
+			Solvable: true,
+		})
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// The JSON export is the machine-readable counterpart of Fig. 1's result
+// artifacts: the statistics block, the query templates, the mined patterns
+// and every antipattern instance (with concrete statements), so downstream
+// analyses can consume a cleaning run without linking against the library.
+
+// ExportDoc is the top-level JSON document.
+type ExportDoc struct {
+	Report       ReportJSON        `json:"report"`
+	Templates    []TemplateJSON    `json:"templates"`
+	Sequences    []SequenceJSON    `json:"sequences,omitempty"`
+	Instances    []InstanceJSON    `json:"instances"`
+	Replacements []ReplacementJSON `json:"replacements,omitempty"`
+}
+
+// ReportJSON mirrors Report with stable JSON names.
+type ReportJSON struct {
+	SizeOriginal    int `json:"size_original"`
+	CountSelect     int `json:"count_select"`
+	SizeAfterDedup  int `json:"size_after_dedup"`
+	DuplicatesFound int `json:"duplicates_found"`
+	FinalSize       int `json:"final_size"`
+	CountTemplates  int `json:"count_templates"`
+	MaxTemplateFreq int `json:"max_template_frequency"`
+	CountDML        int `json:"count_dml"`
+	CountDDL        int `json:"count_ddl"`
+	CountExec       int `json:"count_exec"`
+	CountErrors     int `json:"count_errors"`
+	SolvePasses     int `json:"solve_passes"`
+	SWSTemplates    int `json:"sws_templates"`
+	SWSQueries      int `json:"sws_queries"`
+
+	Antipatterns []AntipatternSummaryJSON `json:"antipatterns"`
+	Solves       []SolveJSON              `json:"solves,omitempty"`
+}
+
+// AntipatternSummaryJSON is one per-kind aggregate.
+type AntipatternSummaryJSON struct {
+	Kind      string `json:"kind"`
+	Distinct  int    `json:"distinct"`
+	Instances int    `json:"instances"`
+	Queries   int    `json:"queries"`
+}
+
+// SolveJSON is one per-kind solving aggregate.
+type SolveJSON struct {
+	Kind          string `json:"kind"`
+	Solved        int    `json:"solved"`
+	Failed        int    `json:"failed"`
+	QueriesBefore int    `json:"queries_before"`
+	QueriesAfter  int    `json:"queries_after"`
+}
+
+// TemplateJSON is one query template's statistics.
+type TemplateJSON struct {
+	Fingerprint    uint64  `json:"fingerprint"`
+	Skeleton       string  `json:"skeleton"`
+	Frequency      int     `json:"frequency"`
+	UserPopularity int     `json:"user_popularity"`
+	DisjointRatio  float64 `json:"disjoint_ratio"`
+	SWS            bool    `json:"sws"`
+	Antipattern    bool    `json:"antipattern"`
+	Example        string  `json:"example"`
+}
+
+// SequenceJSON is one multi-template pattern.
+type SequenceJSON struct {
+	Skeletons      []string `json:"skeletons"`
+	Frequency      int      `json:"frequency"`
+	Queries        int      `json:"queries"`
+	UserPopularity int      `json:"user_popularity"`
+}
+
+// InstanceJSON is one antipattern instance with its concrete statements.
+type InstanceJSON struct {
+	Kind       string    `json:"kind"`
+	User       string    `json:"user,omitempty"`
+	Identity   string    `json:"identity"`
+	Solvable   bool      `json:"solvable"`
+	FirstTime  time.Time `json:"first_time"`
+	Statements []string  `json:"statements"`
+}
+
+// ReplacementJSON is one solved instance's rewrite.
+type ReplacementJSON struct {
+	Kind      string `json:"kind"`
+	Replaced  int    `json:"replaced"`
+	Statement string `json:"statement"`
+}
+
+// Export builds the JSON document for a pipeline result. maxInstances
+// bounds the instance list (0 = all).
+func Export(res *Result, maxInstances int) ExportDoc {
+	doc := ExportDoc{}
+	r := res.Report
+	doc.Report = ReportJSON{
+		SizeOriginal:    r.SizeOriginal,
+		CountSelect:     r.CountSelect,
+		SizeAfterDedup:  r.SizeAfterDedup,
+		DuplicatesFound: r.DuplicatesFound,
+		FinalSize:       r.FinalSize,
+		CountTemplates:  r.CountTemplates,
+		MaxTemplateFreq: r.MaxTemplateFreq,
+		CountDML:        r.CountDML,
+		CountDDL:        r.CountDDL,
+		CountExec:       r.CountExec,
+		CountErrors:     r.CountErrors,
+		SolvePasses:     r.SolvePasses,
+		SWSTemplates:    r.SWSTemplates,
+		SWSQueries:      r.SWSQueries,
+	}
+	for _, a := range r.AntipatternSummary {
+		doc.Report.Antipatterns = append(doc.Report.Antipatterns, AntipatternSummaryJSON{
+			Kind: string(a.Kind), Distinct: a.Distinct, Instances: a.Instances, Queries: a.Queries,
+		})
+	}
+	for _, s := range r.SolveStats {
+		doc.Report.Solves = append(doc.Report.Solves, SolveJSON{
+			Kind: string(s.Kind), Solved: s.Solved, Failed: s.Failed,
+			QueriesBefore: s.QueriesBefore, QueriesAfter: s.QueriesAfter,
+		})
+	}
+
+	anti := res.AntipatternTemplates()
+	for _, t := range res.Templates {
+		doc.Templates = append(doc.Templates, TemplateJSON{
+			Fingerprint:    t.Fingerprint,
+			Skeleton:       t.Skeleton,
+			Frequency:      t.Frequency,
+			UserPopularity: t.UserPopularity,
+			DisjointRatio:  t.DisjointRatio(),
+			SWS:            res.SWS[t.Fingerprint],
+			Antipattern:    anti[t.Fingerprint],
+			Example:        t.Example,
+		})
+	}
+	for _, sp := range res.Sequences {
+		doc.Sequences = append(doc.Sequences, SequenceJSON{
+			Skeletons:      sp.Skeletons,
+			Frequency:      sp.Frequency,
+			Queries:        sp.Queries,
+			UserPopularity: sp.UserPopularity,
+		})
+	}
+	for i, in := range res.Instances {
+		if maxInstances > 0 && i >= maxInstances {
+			break
+		}
+		ij := InstanceJSON{
+			Kind:      string(in.Kind),
+			User:      in.User,
+			Identity:  in.Identity,
+			Solvable:  in.Solvable,
+			FirstTime: res.Parsed[in.Indices[0]].Time,
+		}
+		for _, idx := range in.Indices {
+			ij.Statements = append(ij.Statements, res.Parsed[idx].Statement)
+		}
+		doc.Instances = append(doc.Instances, ij)
+	}
+	for _, rp := range res.Replacements {
+		doc.Replacements = append(doc.Replacements, ReplacementJSON{
+			Kind: string(rp.Kind), Replaced: rp.Replaced, Statement: rp.Statement,
+		})
+	}
+	return doc
+}
+
+// WriteJSON writes the export document, indented, to w.
+func WriteJSON(w io.Writer, res *Result, maxInstances int) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Export(res, maxInstances))
+}
+
+// ReadJSON reads back an export document.
+func ReadJSON(r io.Reader) (ExportDoc, error) {
+	var doc ExportDoc
+	err := json.NewDecoder(r).Decode(&doc)
+	return doc, err
+}

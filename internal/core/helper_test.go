@@ -1,0 +1,20 @@
+package core
+
+import (
+	"sqlclean/internal/logmodel"
+	"sqlclean/internal/schema"
+	"sqlclean/internal/workload"
+)
+
+// schemaWithBrokenTable returns a catalog that fails Validate (a table
+// without columns).
+func schemaWithBrokenTable() *schema.Catalog {
+	c := schema.New()
+	c.AddTable("broken")
+	return c
+}
+
+// workloadGen builds the default synthetic workload at the given scale.
+func workloadGen(scale float64) (logmodel.Log, *workload.Truth) {
+	return workload.Generate(workload.DefaultConfig().Scale(scale))
+}

@@ -1,0 +1,395 @@
+// Package core implements the paper's processing framework (Fig. 1): the
+// original query log flows through duplicate deletion, statement parsing,
+// template/pattern extraction, antipattern detection and antipattern
+// solving, producing a clean query log plus statistics. This is the primary
+// contribution of the paper; every other internal package is a substrate it
+// composes.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sqlclean/internal/antipattern"
+	"sqlclean/internal/dedup"
+	"sqlclean/internal/logmodel"
+	"sqlclean/internal/parsedlog"
+	"sqlclean/internal/pattern"
+	"sqlclean/internal/rewrite"
+	"sqlclean/internal/schema"
+	"sqlclean/internal/session"
+	"sqlclean/internal/skeleton"
+)
+
+// Config configures one pipeline run. The zero value is usable: it applies
+// the paper's defaults (1 s duplicate threshold, 5 min session gap, runs of
+// ≥ 2 queries, key-column check on) with the SkyServer demo catalog.
+type Config struct {
+	// Catalog supplies key-attribute metadata (Definition 11). Nil selects
+	// schema.SkyServer().
+	Catalog *schema.Catalog
+	// DuplicateThreshold is the dedup window (§5.2, Table 4). Zero selects
+	// 1 second; dedup.Unrestricted removes all later repeats.
+	DuplicateThreshold time.Duration
+	// NoDedup skips duplicate deletion entirely.
+	NoDedup bool
+	// SessionGap splits a user's stream into sessions when consecutive
+	// queries are further apart (Definition 8's short-time-gap property).
+	// Zero selects 5 minutes; negative disables gap splitting.
+	SessionGap time.Duration
+	// MinRun is the minimum instance length for Stifle and CTH runs
+	// (default 2).
+	MinRun int
+	// RequireKeyColumn enables Definition 11's key-attribute axiom.
+	// DisableKeyCheck inverts it because the zero value must mean "on".
+	DisableKeyCheck bool
+	// ExtraRules are appended to the default antipattern registry — the
+	// §5.4 extension hook.
+	ExtraRules []antipattern.Rule
+	// ExtraSolvers are appended to the default solver set.
+	ExtraSolvers []rewrite.Solver
+	// DisableSolve detects antipatterns but leaves the log unchanged (the
+	// clean log equals the pre-clean select log).
+	DisableSolve bool
+	// SolveToFixpoint re-parses and re-solves the clean log until no
+	// solvable antipattern remains (bounded by MaxSolvePasses). §5.5 found
+	// a single pass leaves only a 0.09 % residue, so the default is one
+	// pass.
+	SolveToFixpoint bool
+	// MaxSolvePasses bounds fixpoint iteration; zero selects 5.
+	MaxSolvePasses int
+	// SWS configures sliding-window-search classification for the report.
+	// The zero value selects pattern.DefaultSWSOptions.
+	SWS pattern.SWSOptions
+	// SWSMode selects what happens to classified SWS traffic in the clean
+	// log (§6.5): keep it (default), exclude it as machine noise, or
+	// replace each SWS template's queries by one union query covering the
+	// same data space.
+	SWSMode SWSMode
+	// MaxSequenceLen bounds multi-template sequence mining (default 3;
+	// values below 2 disable sequence mining).
+	MaxSequenceLen int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Catalog == nil {
+		c.Catalog = schema.SkyServer()
+	}
+	if c.DuplicateThreshold == 0 {
+		c.DuplicateThreshold = time.Second
+	}
+	if c.SessionGap == 0 {
+		c.SessionGap = 5 * time.Minute
+	}
+	if c.MinRun < 2 {
+		c.MinRun = 2
+	}
+	if c.SWS == (pattern.SWSOptions{}) {
+		c.SWS = pattern.DefaultSWSOptions()
+	}
+	if c.MaxSequenceLen == 0 {
+		c.MaxSequenceLen = 3
+	}
+	if c.MaxSolvePasses == 0 {
+		c.MaxSolvePasses = 5
+	}
+	return c
+}
+
+// SWSMode selects the treatment of sliding-window-search traffic (§6.5).
+type SWSMode int
+
+// SWS treatment modes.
+const (
+	// SWSKeep leaves SWS queries in the clean log (the paper's default:
+	// SWS is not an antipattern, merely noise for some analyses).
+	SWSKeep SWSMode = iota
+	// SWSExclude drops SWS queries from the clean log.
+	SWSExclude
+	// SWSUnion replaces each SWS template's queries with one query whose
+	// range filters are widened to the hull — "a union of the filtering
+	// conditions, i.e., replacing all these queries with one that yields
+	// the same result" (§6.5). Templates whose filters cannot be unioned
+	// (non-range predicates) are kept unchanged.
+	SWSUnion
+)
+
+// Report is the results overview of one run (the paper's Table 5).
+type Report struct {
+	SizeOriginal    int
+	CountSelect     int
+	SizeAfterDedup  int
+	DuplicatesFound int
+	FinalSize       int
+
+	CountTemplates     int
+	MaxTemplateFreq    int
+	CountDML           int
+	CountDDL           int
+	CountExec          int
+	CountErrors        int
+	AntipatternSummary []antipattern.Summary
+	SolveStats         []rewrite.Stats
+	// SolvePasses is the number of cleaning passes performed (1 unless
+	// Config.SolveToFixpoint is set).
+	SolvePasses          int
+	SWSTemplates         int
+	SWSQueries           int
+	QueriesInAntipattern int
+}
+
+// String renders the report as a Table 5-style block.
+func (r Report) String() string {
+	pct := func(n int) string {
+		if r.SizeOriginal == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.2f%%", 100*float64(n)/float64(r.SizeOriginal))
+	}
+	s := fmt.Sprintf("Size of original query log        %d\n", r.SizeOriginal)
+	s += fmt.Sprintf("Count of Select queries           %d (%s)\n", r.CountSelect, pct(r.CountSelect))
+	s += fmt.Sprintf("Size of log after deleting dups   %d (%s)\n", r.SizeAfterDedup, pct(r.SizeAfterDedup))
+	s += fmt.Sprintf("Final log size                    %d (%s)\n", r.FinalSize, pct(r.FinalSize))
+	s += fmt.Sprintf("Count of patterns (templates)     %d\n", r.CountTemplates)
+	s += fmt.Sprintf("Maximal pattern frequency         %d\n", r.MaxTemplateFreq)
+	for _, a := range r.AntipatternSummary {
+		s += fmt.Sprintf("Count of distinct %-15s %d\n", a.Kind, a.Distinct)
+		s += fmt.Sprintf("Count of queries in all %-9s %d\n", a.Kind, a.Queries)
+	}
+	return s
+}
+
+// Result is the full outcome of one pipeline run.
+type Result struct {
+	Config Config
+
+	// Original is the time-sorted input.
+	Original logmodel.Log
+	// PreClean is the SELECT-only, deduplicated log (Fig. 1's "Pre-clean
+	// Query Log" after parsing filtered out non-SELECTs and errors).
+	PreClean logmodel.Log
+	// Clean is the log with solvable antipatterns rewritten.
+	Clean logmodel.Log
+	// Removal is the log with all antipattern queries removed (§6.9).
+	Removal logmodel.Log
+
+	// Parsed is the annotated pre-clean log; indices in Instances refer to
+	// it.
+	Parsed parsedlog.Log
+	// Sessions are the per-user query bursts of the pre-clean log.
+	Sessions []session.Session
+	// Templates are the per-template statistics, most frequent first.
+	Templates []pattern.TemplateStats
+	// Sequences are multi-template patterns (empty if disabled).
+	Sequences []pattern.SeqPattern
+	// Instances are all detected antipattern instances in log order.
+	Instances []antipattern.Instance
+	// SWS maps template fingerprints classified as sliding-window search.
+	SWS map[uint64]bool
+	// Replacements lists every solved instance in clean-log order.
+	Replacements []rewrite.Replacement
+
+	Dedup  dedup.Result
+	Report Report
+}
+
+// Run executes the full pipeline over the log.
+func Run(input logmodel.Log, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Catalog.Validate(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Config: cfg}
+	res.Original = input.Clone()
+	res.Original.SortStable()
+	res.Report.SizeOriginal = len(res.Original)
+
+	// Stage 1+2: parse (classify) and keep SELECTs, then delete duplicates.
+	parsedAll, pstats := parsedlog.Parse(res.Original)
+	res.Report.CountDML = pstats.DML
+	res.Report.CountDDL = pstats.DDL
+	res.Report.CountExec = pstats.Exec
+	res.Report.CountErrors = pstats.Errors
+	res.Report.CountSelect = pstats.Selects
+
+	selects := parsedAll.Selects().Raw()
+	if cfg.NoDedup {
+		res.PreClean = selects
+	} else {
+		res.PreClean, res.Dedup = dedup.Remove(selects, cfg.DuplicateThreshold)
+	}
+	res.Report.DuplicatesFound = res.Dedup.Removed
+	res.Report.SizeAfterDedup = len(res.PreClean)
+
+	// Stage 3: parsed query log (cache makes the re-parse cheap).
+	res.Parsed, _ = parsedlog.Parse(res.PreClean)
+
+	// Stage 4: sessions, templates, patterns.
+	gap := cfg.SessionGap
+	if gap < 0 {
+		gap = 0
+	}
+	res.Sessions = session.Build(res.PreClean, session.Options{MaxGap: gap, SplitOnLabel: true})
+	res.Templates = pattern.Templates(res.Parsed)
+	res.Report.CountTemplates = len(res.Templates)
+	if len(res.Templates) > 0 {
+		res.Report.MaxTemplateFreq = res.Templates[0].Frequency
+	}
+	if cfg.MaxSequenceLen >= 2 {
+		res.Sequences = pattern.Sequences(res.Parsed, res.Sessions, cfg.MaxSequenceLen)
+	}
+	res.SWS = pattern.ClassifySWS(res.Templates, len(res.PreClean), cfg.SWS)
+	for _, t := range res.Templates {
+		if res.SWS[t.Fingerprint] {
+			res.Report.SWSTemplates++
+			res.Report.SWSQueries += t.Frequency
+		}
+	}
+
+	// Stage 5: detect antipatterns.
+	reg := antipattern.DefaultRegistry(cfg.Catalog, antipattern.Options{
+		MinRun:           cfg.MinRun,
+		RequireKeyColumn: !cfg.DisableKeyCheck,
+	})
+	for _, r := range cfg.ExtraRules {
+		reg.Register(r)
+	}
+	res.Instances = reg.Detect(res.Parsed, res.Sessions)
+	res.Report.AntipatternSummary = antipattern.Summarize(res.Instances)
+	inAnti := map[int]bool{}
+	for _, in := range res.Instances {
+		for _, idx := range in.Indices {
+			inAnti[idx] = true
+		}
+	}
+	res.Report.QueriesInAntipattern = len(inAnti)
+
+	// Stage 6: solve antipatterns.
+	if cfg.DisableSolve {
+		res.Clean = res.PreClean.Clone()
+		res.Removal = res.PreClean.Clone()
+	} else {
+		solvers := rewrite.DefaultSolvers(cfg.Catalog)
+		solvers = append(solvers, cfg.ExtraSolvers...)
+		rres := rewrite.Apply(res.Parsed, res.Instances, solvers)
+		res.Clean = rres.Clean
+		res.Removal = rres.Removal
+		res.Report.SolveStats = rres.Stats
+		res.Replacements = rres.Replacements
+		res.Report.SolvePasses = 1
+
+		// §5.5: merged statements can in rare cases form new solvable
+		// antipatterns; optionally iterate to a fixpoint.
+		if cfg.SolveToFixpoint {
+			for pass := 1; pass < cfg.MaxSolvePasses; pass++ {
+				parsed, _ := parsedlog.Parse(res.Clean)
+				sessions := session.Build(res.Clean, session.Options{MaxGap: gap, SplitOnLabel: true})
+				instances := reg.Detect(parsed, sessions)
+				next := rewrite.Apply(parsed, instances, solvers)
+				if len(next.Clean) == len(res.Clean) {
+					break
+				}
+				res.Clean = next.Clean
+				res.Report.SolveStats = append(res.Report.SolveStats, next.Stats...)
+				res.Report.SolvePasses = pass + 1
+			}
+		}
+	}
+
+	// §6.5: optional SWS treatment of the clean log.
+	if cfg.SWSMode != SWSKeep && len(res.SWS) > 0 {
+		res.Clean = applySWSMode(res.Clean, res.SWS, cfg.SWSMode)
+	}
+	res.Report.FinalSize = len(res.Clean)
+	return res, nil
+}
+
+// applySWSMode drops or unions the clean log's SWS-template queries.
+func applySWSMode(clean logmodel.Log, sws map[uint64]bool, mode SWSMode) logmodel.Log {
+	parsed, _ := parsedlog.Parse(clean)
+
+	// Group SWS entries per fingerprint, in log order.
+	groups := map[uint64][]int{}
+	isSWS := make([]bool, len(parsed))
+	for i, pe := range parsed {
+		if pe.Info != nil && sws[pe.Info.Fingerprint] {
+			isSWS[i] = true
+			groups[pe.Info.Fingerprint] = append(groups[pe.Info.Fingerprint], i)
+		}
+	}
+
+	// For union mode, compute one replacement statement per group; groups
+	// whose filters cannot be unioned stay untouched.
+	replaceAt := map[int]string{}
+	unioned := map[uint64]bool{}
+	if mode == SWSUnion {
+		for fp, idxs := range groups {
+			infos := make([]*skeleton.Info, 0, len(idxs))
+			for _, i := range idxs {
+				infos = append(infos, parsed[i].Info)
+			}
+			stmt, err := rewrite.UnionTemplate(infos)
+			if err != nil {
+				continue
+			}
+			replaceAt[idxs[0]] = stmt
+			unioned[fp] = true
+		}
+	}
+
+	out := make(logmodel.Log, 0, len(clean))
+	for i, e := range clean {
+		if !isSWS[i] {
+			out = append(out, e)
+			continue
+		}
+		switch mode {
+		case SWSExclude:
+			continue
+		case SWSUnion:
+			if stmt, ok := replaceAt[i]; ok {
+				ne := e
+				ne.Statement = stmt
+				ne.Rows = -1 // the union's row count is unknown
+				out = append(out, ne)
+				continue
+			}
+			if unioned[parsed[i].Info.Fingerprint] {
+				continue // consumed by the group's union query
+			}
+			out = append(out, e) // group not unionable: keep
+		}
+	}
+	return out
+}
+
+// IsAntipatternTemplate reports whether the template fingerprint occurs as
+// (part of) any detected antipattern instance — used to mark antipatterns in
+// Fig. 2(a)-style rankings.
+func (r *Result) IsAntipatternTemplate(fp uint64) bool {
+	for _, in := range r.Instances {
+		for _, idx := range in.Indices {
+			e := r.Parsed[idx]
+			if e.Info != nil && e.Info.Fingerprint == fp {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AntipatternTemplates returns the set of template fingerprints that occur
+// inside antipattern instances, computed once.
+func (r *Result) AntipatternTemplates() map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, in := range r.Instances {
+		for _, idx := range in.Indices {
+			e := r.Parsed[idx]
+			if e.Info != nil {
+				out[e.Info.Fingerprint] = true
+			}
+		}
+	}
+	return out
+}

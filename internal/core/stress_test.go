@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sqlclean/internal/logmodel"
+	"sqlclean/internal/sqlparser"
+)
+
+// TestPipelineOnRandomStatementSoup stress-tests the pipeline with random
+// statement soups: fragments of valid SQL, broken SQL, DML, weird
+// timestamps and user churn. Invariants: Run never fails on any input log,
+// the clean log only shrinks, every clean statement reparses, and the
+// report adds up.
+func TestPipelineOnRandomStatementSoup(t *testing.T) {
+	fragments := []string{
+		"SELECT a FROM t WHERE id = %d",
+		"SELECT a, b FROM t WHERE id = %d AND x > %d",
+		"SELECT * FROM photoprimary WHERE objid = %d",
+		"SELECT name FROM dbobjects WHERE name = 'n%d'",
+		"SELECT count(*) FROM t WHERE h >= %d AND h <= %d",
+		"SELECT x FROM t WHERE y = NULL",
+		"INSERT INTO t VALUES (%d)",
+		"UPDATE t SET a = %d",
+		"CREATE TABLE t%d (a int)",
+		"SELECT FROM t",         // broken
+		"SELECT a FROM",         // broken
+		"garbage %d",            // broken
+		"SELECT a FROM t WHERE", // broken
+		"EXEC sp_x %d",
+		"SELECT a FROM t1 JOIN t2 ON t1.x = t2.x WHERE t1.id = %d",
+		"SELECT 'str with; semicolon' FROM t WHERE id = %d",
+	}
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+		n := 100 + rng.Intn(400)
+		l := make(logmodel.Log, 0, n)
+		for i := 0; i < n; i++ {
+			f := fragments[rng.Intn(len(fragments))]
+			stmt := f
+			switch countVerbs(f) {
+			case 1:
+				stmt = sprintf1(f, rng.Intn(100))
+			case 2:
+				stmt = sprintf2(f, rng.Intn(100), rng.Intn(100))
+			}
+			l = append(l, logmodel.Entry{
+				Seq:       int64(i),
+				Time:      base.Add(time.Duration(rng.Intn(100000)) * time.Second),
+				User:      fmt.Sprintf("u%d", rng.Intn(5)),
+				Rows:      int64(rng.Intn(10)) - 1,
+				Statement: stmt,
+			})
+		}
+		res, err := Run(l, Config{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(res.Clean) > len(res.PreClean) {
+			t.Fatalf("trial %d: clean grew", trial)
+		}
+		for _, e := range res.Clean {
+			if _, err := sqlparser.ParseSelect(e.Statement); err != nil {
+				t.Fatalf("trial %d: clean statement broken: %q: %v", trial, e.Statement, err)
+			}
+		}
+		r := res.Report
+		if r.CountSelect+r.CountDML+r.CountDDL+r.CountExec+r.CountErrors != len(l) {
+			t.Fatalf("trial %d: class counts do not add up", trial)
+		}
+		// Every instance index is in range and instances are per-user.
+		for _, in := range res.Instances {
+			user := ""
+			for k, idx := range in.Indices {
+				if idx < 0 || idx >= len(res.Parsed) {
+					t.Fatalf("trial %d: index out of range", trial)
+				}
+				if k == 0 {
+					user = res.Parsed[idx].User
+				} else if res.Parsed[idx].User != user {
+					t.Fatalf("trial %d: instance spans users", trial)
+				}
+			}
+		}
+	}
+}
+
+func countVerbs(f string) int {
+	n := 0
+	for i := 0; i+1 < len(f); i++ {
+		if f[i] == '%' && f[i+1] == 'd' {
+			n++
+		}
+	}
+	return n
+}
+
+func sprintf1(f string, a int) string    { return fmt.Sprintf(f, a) }
+func sprintf2(f string, a, b int) string { return fmt.Sprintf(f, a, b) }
+
+// TestSoakLargeScale runs the full pipeline at several times the default
+// workload size and checks the global invariants hold at scale. Skipped
+// under -short.
+func TestSoakLargeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	log, _ := workloadGen(3.0)
+	res, err := Run(log, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Report
+	if r.CountSelect+r.CountDML+r.CountDDL+r.CountExec+r.CountErrors != len(log) {
+		t.Error("class counts do not add up at scale")
+	}
+	if len(res.Clean) >= len(res.PreClean) {
+		t.Error("no shrinkage at scale")
+	}
+	sum := 0
+	for _, tp := range res.Templates {
+		sum += tp.Frequency
+	}
+	if sum != len(res.PreClean) {
+		t.Error("template frequencies do not cover the log at scale")
+	}
+	for _, e := range res.Clean[:200] {
+		if _, err := sqlparser.ParseSelect(e.Statement); err != nil {
+			t.Fatalf("clean statement broken at scale: %v", err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package eval
+
+import (
+	"testing"
+	"time"
+
+	"sqlclean/internal/core"
+	"sqlclean/internal/workload"
+)
+
+func runDefault(t *testing.T, scale float64) (*core.Result, *workload.Truth) {
+	t.Helper()
+	log, truth := workload.Generate(workload.DefaultConfig().Scale(scale))
+	res, err := core.Run(log, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, truth
+}
+
+func metric(ms []Metrics, name string) Metrics {
+	for _, m := range ms {
+		if m.Name == name {
+			return m
+		}
+	}
+	return Metrics{}
+}
+
+func TestDetectorAccuracyOnDefaultWorkload(t *testing.T) {
+	res, truth := runDefault(t, 0.5)
+	ms := DetectorAccuracy(res, truth)
+	if len(ms) != 6 {
+		t.Fatalf("metrics: %+v", ms)
+	}
+	// The Stifle detectors must be highly precise and recall most of what
+	// the generator planted (dedup and run-boundary effects cost a little).
+	for _, name := range []string{"DW-Stifle", "Stifle (any)", "SNC"} {
+		m := metric(ms, name)
+		if m.Precision() < 0.95 {
+			t.Errorf("%s precision %.3f (%+v)", name, m.Precision(), m)
+		}
+		if m.Recall() < 0.85 {
+			t.Errorf("%s recall %.3f (%+v)", name, m.Recall(), m)
+		}
+	}
+	m := metric(ms, "DS-Stifle")
+	if m.Recall() < 0.5 {
+		t.Errorf("DS recall %.3f (%+v)", m.Recall(), m)
+	}
+	cth := metric(ms, "CTH candidate")
+	if cth.TP == 0 {
+		t.Errorf("CTH candidates: %+v", cth)
+	}
+}
+
+func TestMetricsArithmetic(t *testing.T) {
+	m := Metrics{Name: "x", TP: 8, FP: 2, FN: 2}
+	if m.Precision() != 0.8 || m.Recall() != 0.8 {
+		t.Errorf("p=%v r=%v", m.Precision(), m.Recall())
+	}
+	if f1 := m.F1(); f1 < 0.799 || f1 > 0.801 {
+		t.Errorf("f1=%v", f1)
+	}
+	var zero Metrics
+	if zero.Precision() != 0 || zero.Recall() != 0 || zero.F1() != 0 {
+		t.Error("zero metrics must not divide by zero")
+	}
+	if s := m.String(); s == "" {
+		t.Error("empty string rendering")
+	}
+}
+
+func TestTrueCTHClassification(t *testing.T) {
+	res, truth := runDefault(t, 0.5)
+	m := TrueCTHClassification(res, truth)
+	if m.TP == 0 {
+		t.Fatalf("no real CTHs found: %+v", m)
+	}
+	if m.FP == 0 {
+		t.Fatalf("no false candidates found (generator plants them): %+v", m)
+	}
+	// The paper found 28 real among 50 candidates — a mixed set; both
+	// classes must be present and most true chains must be covered.
+	if m.Recall() < 0.8 {
+		t.Errorf("true-chain coverage %.3f (%+v)", m.Recall(), m)
+	}
+}
+
+func TestRecallDropsWithTinySessionGap(t *testing.T) {
+	log, truth := workload.Generate(workload.DefaultConfig().Scale(0.5))
+	normal, err := core.Run(log, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny, err := core.Run(log, core.Config{SessionGap: 120 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rNormal := metric(DetectorAccuracy(normal, truth), "Stifle (any)").Recall()
+	rTiny := metric(DetectorAccuracy(tiny, truth), "Stifle (any)").Recall()
+	if rTiny >= rNormal {
+		t.Errorf("tiny session gap should cut runs apart: %.3f vs %.3f", rTiny, rNormal)
+	}
+}

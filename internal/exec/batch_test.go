@@ -1,0 +1,67 @@
+package exec
+
+import (
+	"testing"
+)
+
+func TestExecuteBatch(t *testing.T) {
+	e := demoEngine(t)
+	rss, err := e.ExecuteBatch("SELECT name FROM emp WHERE id = 1; SELECT name FROM emp WHERE id = 2;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rss) != 2 {
+		t.Fatalf("results: %d", len(rss))
+	}
+	if rss[0].Rows[0][0].S != "ann" || rss[1].Rows[0][0].S != "bob" {
+		t.Fatalf("rows: %v %v", rss[0].Rows, rss[1].Rows)
+	}
+	// One round trip, two statements — the Pack economics.
+	if e.Stats.RoundTrips != 1 || e.Stats.Statements != 2 {
+		t.Errorf("stats: %+v", e.Stats)
+	}
+}
+
+func TestExecuteBatchVsSingletonCost(t *testing.T) {
+	m := DefaultCostModel()
+	single := demoEngine(t)
+	for _, q := range []string{"SELECT name FROM emp WHERE id = 1", "SELECT name FROM emp WHERE id = 2"} {
+		if _, err := single.Execute(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batched := demoEngine(t)
+	if _, err := batched.ExecuteBatch("SELECT name FROM emp WHERE id = 1; SELECT name FROM emp WHERE id = 2"); err != nil {
+		t.Fatal(err)
+	}
+	if !(batched.Stats.Cost(m) < single.Stats.Cost(m)) {
+		t.Errorf("batching must be cheaper: %v vs %v", batched.Stats.Cost(m), single.Stats.Cost(m))
+	}
+	// But the server-side statement count is identical (paper §3.1.1: Pack
+	// "still requires the same amount of database resources").
+	if batched.Stats.Statements != single.Stats.Statements {
+		t.Errorf("statements: %d vs %d", batched.Stats.Statements, single.Stats.Statements)
+	}
+}
+
+func TestExecuteBatchStopsOnError(t *testing.T) {
+	e := demoEngine(t)
+	rss, err := e.ExecuteBatch("SELECT name FROM emp WHERE id = 1; SELECT broken FROM nowhere; SELECT name FROM emp WHERE id = 2")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if len(rss) != 1 {
+		t.Errorf("partial results: %d", len(rss))
+	}
+}
+
+func TestExecuteBatchSemicolonInString(t *testing.T) {
+	e := demoEngine(t)
+	rss, err := e.ExecuteBatch("SELECT name FROM emp WHERE dep = 'a;b'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rss) != 1 {
+		t.Fatalf("string semicolon split the batch: %d results", len(rss))
+	}
+}

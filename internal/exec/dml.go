@@ -1,0 +1,170 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlclean/internal/sqlast"
+	"sqlclean/internal/sqlparser"
+	"sqlclean/internal/storage"
+)
+
+// DMLResult reports an INSERT/UPDATE/DELETE outcome.
+type DMLResult struct {
+	// Affected counts inserted, updated or deleted rows.
+	Affected int
+}
+
+// ExecuteStatement runs any modeled statement: SELECT returns a ResultSet,
+// DML returns a DMLResult. DDL/EXEC and unmodeled DML forms are rejected.
+func (e *Engine) ExecuteStatement(sql string) (*ResultSet, *DMLResult, error) {
+	st, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch s := st.(type) {
+	case *sqlast.SelectStatement:
+		e.Stats.RoundTrips++
+		rs, err := e.ExecuteSelect(s)
+		return rs, nil, err
+	case *sqlast.InsertStatement:
+		e.Stats.RoundTrips++
+		e.Stats.Statements++
+		res, err := e.execInsert(s)
+		return nil, res, err
+	case *sqlast.UpdateStatement:
+		e.Stats.RoundTrips++
+		e.Stats.Statements++
+		res, err := e.execUpdate(s)
+		return nil, res, err
+	case *sqlast.DeleteStatement:
+		e.Stats.RoundTrips++
+		e.Stats.Statements++
+		res, err := e.execDelete(s)
+		return nil, res, err
+	case *sqlast.OtherStatement:
+		return nil, nil, fmt.Errorf("exec: cannot execute %s statement", s.Class)
+	}
+	return nil, nil, fmt.Errorf("exec: unsupported statement %T", st)
+}
+
+func (e *Engine) execInsert(st *sqlast.InsertStatement) (*DMLResult, error) {
+	tbl, ok := e.DB.Table(st.Table.Name)
+	if !ok {
+		return nil, fmt.Errorf("exec: no table %s", st.Table.Name)
+	}
+	cols := st.Columns
+	if len(cols) == 0 {
+		for _, c := range tbl.Def.Columns {
+			cols = append(cols, c.Name)
+		}
+	}
+	colIdx := make([]int, len(cols))
+	for i, c := range cols {
+		ci, ok := tbl.ColIndex(c)
+		if !ok {
+			return nil, fmt.Errorf("exec: table %s has no column %s", st.Table.Name, c)
+		}
+		colIdx[i] = ci
+	}
+	inserted := 0
+	for _, exprs := range st.Rows {
+		if len(exprs) != len(cols) {
+			return nil, fmt.Errorf("exec: INSERT row has %d values, want %d", len(exprs), len(cols))
+		}
+		row := make(storage.Row, len(tbl.Def.Columns))
+		for i := range row {
+			row[i] = storage.Null
+		}
+		for i, x := range exprs {
+			v, err := e.evalExpr(x, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			row[colIdx[i]] = v
+		}
+		if err := tbl.Insert(row); err != nil {
+			return nil, err
+		}
+		inserted++
+	}
+	return &DMLResult{Affected: inserted}, nil
+}
+
+// matchRows returns the positions of rows satisfying where (all rows when
+// nil), charging scan costs like a SELECT would.
+func (e *Engine) matchRows(tbl *storage.Table, tableName string, where sqlast.Expr) ([]int, error) {
+	cols := make([]ColInfo, len(tbl.Def.Columns))
+	alias := strings.ToLower(tableName)
+	for i, c := range tbl.Def.Columns {
+		cols[i] = ColInfo{Alias: alias, Name: strings.ToLower(c.Name)}
+	}
+	// Index path for equality/IN predicates, like scanTable.
+	var candidates []int
+	if pos, ok := e.indexCandidates(tbl, alias, where); ok {
+		candidates = pos
+		e.Stats.IndexLookups++
+	} else {
+		candidates = make([]int, len(tbl.Rows))
+		for i := range candidates {
+			candidates[i] = i
+		}
+	}
+	e.Stats.RowsScanned += int64(len(candidates))
+	if where == nil {
+		return candidates, nil
+	}
+	var out []int
+	for _, p := range candidates {
+		v, err := e.evalExpr(where, cols, tbl.Rows[p])
+		if err != nil {
+			return nil, err
+		}
+		if v.Truth() {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) execUpdate(st *sqlast.UpdateStatement) (*DMLResult, error) {
+	tbl, ok := e.DB.Table(st.Table.Name)
+	if !ok {
+		return nil, fmt.Errorf("exec: no table %s", st.Table.Name)
+	}
+	matched, err := e.matchRows(tbl, st.Table.Name, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]ColInfo, len(tbl.Def.Columns))
+	alias := strings.ToLower(st.Table.Name)
+	for i, c := range tbl.Def.Columns {
+		cols[i] = ColInfo{Alias: alias, Name: strings.ToLower(c.Name)}
+	}
+	for _, p := range matched {
+		for _, set := range st.Set {
+			// The right-hand side may reference the row's current values
+			// (count = count - 1 in the paper's BUY procedure).
+			v, err := e.evalExpr(set.Value, cols, tbl.Rows[p])
+			if err != nil {
+				return nil, err
+			}
+			if err := tbl.UpdateRow(p, set.Column, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &DMLResult{Affected: len(matched)}, nil
+}
+
+func (e *Engine) execDelete(st *sqlast.DeleteStatement) (*DMLResult, error) {
+	tbl, ok := e.DB.Table(st.Table.Name)
+	if !ok {
+		return nil, fmt.Errorf("exec: no table %s", st.Table.Name)
+	}
+	matched, err := e.matchRows(tbl, st.Table.Name, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	return &DMLResult{Affected: tbl.DeleteRows(matched)}, nil
+}

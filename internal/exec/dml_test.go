@@ -1,0 +1,170 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"sqlclean/internal/storage"
+	"sqlclean/internal/workload"
+)
+
+func TestInsertExecute(t *testing.T) {
+	e := demoEngine(t)
+	_, res, err := e.ExecuteStatement("INSERT INTO emp (id, name, dep, salary, bonus) VALUES (6, 'fay', 'hr', 60, NULL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 1 {
+		t.Fatalf("affected: %d", res.Affected)
+	}
+	rs := query(t, e, "SELECT name FROM emp WHERE id = 6")
+	if len(rs.Rows) != 1 || rs.Rows[0][0].S != "fay" {
+		t.Fatalf("inserted row not found: %v", rs.Rows)
+	}
+}
+
+func TestInsertPositionalAndMultiRow(t *testing.T) {
+	e := demoEngine(t)
+	_, res, err := e.ExecuteStatement("INSERT INTO dep VALUES ('hr', 'Bonn'), ('it', 'Graz')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 2 {
+		t.Fatalf("affected: %d", res.Affected)
+	}
+	rs := query(t, e, "SELECT count(*) FROM dep")
+	if rs.Rows[0][0].I != 4 {
+		t.Fatalf("count: %v", rs.Rows[0][0])
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	e := demoEngine(t)
+	for _, q := range []string{
+		"INSERT INTO ghost VALUES (1)",
+		"INSERT INTO emp (nope) VALUES (1)",
+		"INSERT INTO emp (id, name) VALUES (1)", // arity
+	} {
+		if _, _, err := e.ExecuteStatement(q); err == nil {
+			t.Errorf("%q: want error", q)
+		}
+	}
+}
+
+func TestUpdateExecute(t *testing.T) {
+	e := demoEngine(t)
+	// The paper's BUY-procedure shape: count = count - 1 referencing the
+	// current row.
+	_, res, err := e.ExecuteStatement("UPDATE emp SET salary = salary + 10 WHERE dep = 'sales'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 2 {
+		t.Fatalf("affected: %d", res.Affected)
+	}
+	rs := query(t, e, "SELECT salary FROM emp WHERE id = 1")
+	if rs.Rows[0][0].I != 110 {
+		t.Fatalf("salary: %v", rs.Rows[0][0])
+	}
+}
+
+func TestUpdateMaintainsIndex(t *testing.T) {
+	e := demoEngine(t)
+	if _, _, err := e.ExecuteStatement("UPDATE emp SET id = 99 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	rs := query(t, e, "SELECT name FROM emp WHERE id = 99")
+	if len(rs.Rows) != 1 || rs.Rows[0][0].S != "ann" {
+		t.Fatalf("index stale after update: %v", rs.Rows)
+	}
+	rs = query(t, e, "SELECT name FROM emp WHERE id = 1")
+	if len(rs.Rows) != 0 {
+		t.Fatalf("old key still indexed: %v", rs.Rows)
+	}
+}
+
+func TestDeleteExecute(t *testing.T) {
+	e := demoEngine(t)
+	_, res, err := e.ExecuteStatement("DELETE FROM emp WHERE dep = 'eng'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 2 {
+		t.Fatalf("affected: %d", res.Affected)
+	}
+	rs := query(t, e, "SELECT count(*) FROM emp")
+	if rs.Rows[0][0].I != 3 {
+		t.Fatalf("remaining: %v", rs.Rows[0][0])
+	}
+	// Indexes rebuilt: lookups on survivors still work.
+	rs = query(t, e, "SELECT name FROM emp WHERE id = 5")
+	if len(rs.Rows) != 1 || rs.Rows[0][0].S != "eve" {
+		t.Fatalf("post-delete lookup: %v", rs.Rows)
+	}
+}
+
+func TestDeleteAllRows(t *testing.T) {
+	e := demoEngine(t)
+	_, res, err := e.ExecuteStatement("DELETE FROM dep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 2 {
+		t.Fatalf("affected: %d", res.Affected)
+	}
+}
+
+func TestExecuteStatementSelectPassThrough(t *testing.T) {
+	e := demoEngine(t)
+	rs, dml, err := e.ExecuteStatement("SELECT name FROM emp WHERE id = 1")
+	if err != nil || dml != nil || len(rs.Rows) != 1 {
+		t.Fatalf("rs=%v dml=%v err=%v", rs, dml, err)
+	}
+}
+
+func TestExecuteStatementRejectsDDL(t *testing.T) {
+	e := demoEngine(t)
+	if _, _, err := e.ExecuteStatement("DROP TABLE emp"); err == nil {
+		t.Error("DDL must be rejected")
+	}
+}
+
+// TestRetailBuyProcedureEndToEnd executes the paper's Example 7 BUY
+// procedure — SELECT barcode, INSERT the sale, UPDATE the stock — against
+// the retail schema.
+func TestRetailBuyProcedureEndToEnd(t *testing.T) {
+	db := storage.NewDB(workload.RetailCatalog())
+	e := New(db)
+	mustDML := func(q string) {
+		t.Helper()
+		if _, _, err := e.ExecuteStatement(q); err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+	}
+	mustDML("INSERT INTO BarCodesInfo VALUES (4000000001, 'runner', 42)")
+	mustDML("INSERT INTO InPresence VALUES ('runner', 42, 5)")
+	mustDML("INSERT INTO Prices VALUES ('runner', 89.9)")
+
+	// BUY(4000000001):
+	rs := query(t, e, "SELECT model, size FROM BarCodesInfo WHERE id = 4000000001")
+	model, size := rs.Rows[0][0].S, rs.Rows[0][1].I
+	mustDML("INSERT INTO Sales (saleid, barcode, seller) VALUES (1, 4000000001, 'pos-01')")
+	if _, res, err := e.ExecuteStatement(
+		"UPDATE InPresence SET count = count - 1 WHERE model = '" + model + "'"); err != nil || res.Affected != 1 {
+		t.Fatalf("update: %v %v", res, err)
+	}
+	_ = size
+	rs = query(t, e, "SELECT count FROM InPresence WHERE model = 'runner'")
+	if rs.Rows[0][0].I != 4 {
+		t.Fatalf("stock after sale: %v", rs.Rows[0][0])
+	}
+}
+
+func TestUnmodeledDMLDegradesToClassification(t *testing.T) {
+	e := demoEngine(t)
+	// INSERT ... SELECT is classified as DML but not executable.
+	_, _, err := e.ExecuteStatement("INSERT INTO emp SELECT * FROM emp")
+	if err == nil || !strings.Contains(err.Error(), "dml") {
+		t.Fatalf("err: %v", err)
+	}
+}

@@ -1,0 +1,811 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"sqlclean/internal/sqlast"
+	"sqlclean/internal/storage"
+)
+
+func literalValue(l *sqlast.Literal) (storage.Value, error) {
+	switch l.Kind {
+	case "null":
+		return storage.Null, nil
+	case "str":
+		return storage.Str(l.Val), nil
+	default:
+		if i, err := strconv.ParseInt(l.Val, 10, 64); err == nil {
+			return storage.Int(i), nil
+		}
+		f, err := strconv.ParseFloat(l.Val, 64)
+		if err != nil {
+			return storage.Null, fmt.Errorf("exec: bad numeric literal %q", l.Val)
+		}
+		return storage.Float(f), nil
+	}
+}
+
+// evalExpr evaluates a scalar expression against one row of a relation.
+// cols/row may be nil for constant expressions.
+func (e *Engine) evalExpr(x sqlast.Expr, cols []ColInfo, row storage.Row) (storage.Value, error) {
+	switch v := x.(type) {
+	case *sqlast.Literal:
+		return literalValue(v)
+	case *sqlast.Variable:
+		// Unbound variables evaluate to NULL; logs frequently contain
+		// parameterized statements whose values the log does not carry.
+		return storage.Null, nil
+	case *sqlast.ColumnRef:
+		if v.Star {
+			return storage.Null, fmt.Errorf("exec: '*' is not a scalar")
+		}
+		i, ok := findCol(cols, v)
+		if !ok {
+			return storage.Null, fmt.Errorf("exec: unknown column %s", colName(v))
+		}
+		return row[i], nil
+	case *sqlast.ParenExpr:
+		return e.evalExpr(v.X, cols, row)
+	case *sqlast.UnaryExpr:
+		return e.evalUnary(v, cols, row)
+	case *sqlast.BinaryExpr:
+		return e.evalBinary(v, cols, row)
+	case *sqlast.InExpr:
+		return e.evalIn(v, cols, row)
+	case *sqlast.BetweenExpr:
+		val, err := e.evalExpr(v.X, cols, row)
+		if err != nil {
+			return storage.Null, err
+		}
+		lo, err := e.evalExpr(v.Lo, cols, row)
+		if err != nil {
+			return storage.Null, err
+		}
+		hi, err := e.evalExpr(v.Hi, cols, row)
+		if err != nil {
+			return storage.Null, err
+		}
+		c1, ok1 := storage.Compare(val, lo)
+		c2, ok2 := storage.Compare(val, hi)
+		if !ok1 || !ok2 {
+			return storage.Null, nil
+		}
+		res := c1 >= 0 && c2 <= 0
+		if v.Not {
+			res = !res
+		}
+		return storage.Bool(res), nil
+	case *sqlast.IsNullExpr:
+		val, err := e.evalExpr(v.X, cols, row)
+		if err != nil {
+			return storage.Null, err
+		}
+		res := val.IsNull()
+		if v.Not {
+			res = !res
+		}
+		return storage.Bool(res), nil
+	case *sqlast.LikeExpr:
+		val, err := e.evalExpr(v.X, cols, row)
+		if err != nil {
+			return storage.Null, err
+		}
+		pat, err := e.evalExpr(v.Pattern, cols, row)
+		if err != nil {
+			return storage.Null, err
+		}
+		if val.IsNull() || pat.IsNull() {
+			return storage.Null, nil
+		}
+		res := likeMatch(val.String(), pat.String())
+		if v.Not {
+			res = !res
+		}
+		return storage.Bool(res), nil
+	case *sqlast.FuncCall:
+		return e.evalScalarFunc(v, cols, row)
+	case *sqlast.SubqueryExpr:
+		rel, err := e.evalQuery(v.Sub)
+		if err != nil {
+			return storage.Null, err
+		}
+		if len(rel.Rows) == 0 || len(rel.Cols) == 0 {
+			return storage.Null, nil
+		}
+		return rel.Rows[0][0], nil
+	case *sqlast.ExistsExpr:
+		rel, err := e.evalQuery(v.Sub)
+		if err != nil {
+			return storage.Null, err
+		}
+		return storage.Bool(len(rel.Rows) > 0), nil
+	case *sqlast.CastExpr:
+		val, err := e.evalExpr(v.X, cols, row)
+		if err != nil {
+			return storage.Null, err
+		}
+		return castValue(val, v.Type)
+	case *sqlast.CaseExpr:
+		return e.evalCase(v, cols, row)
+	}
+	return storage.Null, fmt.Errorf("exec: unsupported expression %T", x)
+}
+
+func colName(c *sqlast.ColumnRef) string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Name
+	}
+	return c.Name
+}
+
+func (e *Engine) evalUnary(v *sqlast.UnaryExpr, cols []ColInfo, row storage.Row) (storage.Value, error) {
+	val, err := e.evalExpr(v.X, cols, row)
+	if err != nil {
+		return storage.Null, err
+	}
+	switch v.Op {
+	case "NOT":
+		if val.IsNull() {
+			return storage.Null, nil
+		}
+		return storage.Bool(!val.Truth()), nil
+	case "-":
+		switch val.Kind {
+		case storage.KindInt:
+			return storage.Int(-val.I), nil
+		case storage.KindFloat:
+			return storage.Float(-val.F), nil
+		case storage.KindNull:
+			return storage.Null, nil
+		}
+		return storage.Null, fmt.Errorf("exec: cannot negate %v", val.Kind)
+	case "+":
+		return val, nil
+	case "~":
+		if val.Kind == storage.KindInt {
+			return storage.Int(^val.I), nil
+		}
+		return storage.Null, nil
+	}
+	return storage.Null, fmt.Errorf("exec: unsupported unary %s", v.Op)
+}
+
+func (e *Engine) evalBinary(v *sqlast.BinaryExpr, cols []ColInfo, row storage.Row) (storage.Value, error) {
+	switch v.Op {
+	case "AND", "OR":
+		l, err := e.evalExpr(v.Left, cols, row)
+		if err != nil {
+			return storage.Null, err
+		}
+		// Short-circuit with two-valued semantics for filtering; NULL is
+		// treated as unknown-false.
+		if v.Op == "AND" {
+			if !l.Truth() {
+				return storage.Bool(false), nil
+			}
+			r, err := e.evalExpr(v.Right, cols, row)
+			if err != nil {
+				return storage.Null, err
+			}
+			return storage.Bool(r.Truth()), nil
+		}
+		if l.Truth() {
+			return storage.Bool(true), nil
+		}
+		r, err := e.evalExpr(v.Right, cols, row)
+		if err != nil {
+			return storage.Null, err
+		}
+		return storage.Bool(r.Truth()), nil
+	}
+
+	l, err := e.evalExpr(v.Left, cols, row)
+	if err != nil {
+		return storage.Null, err
+	}
+	r, err := e.evalExpr(v.Right, cols, row)
+	if err != nil {
+		return storage.Null, err
+	}
+	switch v.Op {
+	case "=", "<>", "<", ">", "<=", ">=":
+		if l.IsNull() || r.IsNull() {
+			return storage.Null, nil // SQL semantics: comparisons to NULL are unknown
+		}
+		c, ok := storage.Compare(l, r)
+		if !ok {
+			return storage.Null, nil
+		}
+		switch v.Op {
+		case "=":
+			return storage.Bool(c == 0), nil
+		case "<>":
+			return storage.Bool(c != 0), nil
+		case "<":
+			return storage.Bool(c < 0), nil
+		case ">":
+			return storage.Bool(c > 0), nil
+		case "<=":
+			return storage.Bool(c <= 0), nil
+		default:
+			return storage.Bool(c >= 0), nil
+		}
+	case "+", "-", "*", "/", "%":
+		return arith(v.Op, l, r)
+	case "&", "|", "^":
+		if l.Kind == storage.KindInt && r.Kind == storage.KindInt {
+			switch v.Op {
+			case "&":
+				return storage.Int(l.I & r.I), nil
+			case "|":
+				return storage.Int(l.I | r.I), nil
+			default:
+				return storage.Int(l.I ^ r.I), nil
+			}
+		}
+		return storage.Null, nil
+	}
+	return storage.Null, fmt.Errorf("exec: unsupported operator %s", v.Op)
+}
+
+func arith(op string, l, r storage.Value) (storage.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return storage.Null, nil
+	}
+	if op == "+" && l.Kind == storage.KindString && r.Kind == storage.KindString {
+		return storage.Str(l.S + r.S), nil
+	}
+	if l.Kind == storage.KindInt && r.Kind == storage.KindInt {
+		switch op {
+		case "+":
+			return storage.Int(l.I + r.I), nil
+		case "-":
+			return storage.Int(l.I - r.I), nil
+		case "*":
+			return storage.Int(l.I * r.I), nil
+		case "/":
+			if r.I == 0 {
+				return storage.Null, fmt.Errorf("exec: division by zero")
+			}
+			return storage.Int(l.I / r.I), nil
+		case "%":
+			if r.I == 0 {
+				return storage.Null, fmt.Errorf("exec: division by zero")
+			}
+			return storage.Int(l.I % r.I), nil
+		}
+	}
+	lf, okL := l.AsFloat()
+	rf, okR := r.AsFloat()
+	if !okL || !okR {
+		return storage.Null, fmt.Errorf("exec: arithmetic on non-numeric values")
+	}
+	switch op {
+	case "+":
+		return storage.Float(lf + rf), nil
+	case "-":
+		return storage.Float(lf - rf), nil
+	case "*":
+		return storage.Float(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return storage.Null, fmt.Errorf("exec: division by zero")
+		}
+		return storage.Float(lf / rf), nil
+	case "%":
+		return storage.Float(math.Mod(lf, rf)), nil
+	}
+	return storage.Null, fmt.Errorf("exec: unsupported arithmetic %s", op)
+}
+
+func (e *Engine) evalIn(v *sqlast.InExpr, cols []ColInfo, row storage.Row) (storage.Value, error) {
+	val, err := e.evalExpr(v.X, cols, row)
+	if err != nil {
+		return storage.Null, err
+	}
+	var candidates []storage.Value
+	if v.Sub != nil {
+		rel, err := e.evalQuery(v.Sub)
+		if err != nil {
+			return storage.Null, err
+		}
+		for _, r := range rel.Rows {
+			if len(r) > 0 {
+				candidates = append(candidates, r[0])
+			}
+		}
+	} else {
+		for _, it := range v.List {
+			c, err := e.evalExpr(it, cols, row)
+			if err != nil {
+				return storage.Null, err
+			}
+			candidates = append(candidates, c)
+		}
+	}
+	found := false
+	for _, c := range candidates {
+		if cmp, ok := storage.Compare(val, c); ok && cmp == 0 {
+			found = true
+			break
+		}
+	}
+	if v.Not {
+		found = !found
+	}
+	return storage.Bool(found), nil
+}
+
+func (e *Engine) evalCase(v *sqlast.CaseExpr, cols []ColInfo, row storage.Row) (storage.Value, error) {
+	var operand storage.Value
+	hasOperand := v.Operand != nil
+	if hasOperand {
+		var err error
+		operand, err = e.evalExpr(v.Operand, cols, row)
+		if err != nil {
+			return storage.Null, err
+		}
+	}
+	for _, w := range v.Whens {
+		cond, err := e.evalExpr(w.Cond, cols, row)
+		if err != nil {
+			return storage.Null, err
+		}
+		matched := false
+		if hasOperand {
+			if c, ok := storage.Compare(operand, cond); ok && c == 0 {
+				matched = true
+			}
+		} else {
+			matched = cond.Truth()
+		}
+		if matched {
+			return e.evalExpr(w.Then, cols, row)
+		}
+	}
+	if v.Else != nil {
+		return e.evalExpr(v.Else, cols, row)
+	}
+	return storage.Null, nil
+}
+
+// castValue converts a value to the named SQL type family.
+func castValue(v storage.Value, typ string) (storage.Value, error) {
+	if v.IsNull() {
+		return storage.Null, nil
+	}
+	switch strings.ToLower(typ) {
+	case "int", "bigint", "smallint", "tinyint":
+		switch v.Kind {
+		case storage.KindInt, storage.KindBool:
+			return storage.Int(v.I), nil
+		case storage.KindFloat:
+			return storage.Int(int64(v.F)), nil
+		case storage.KindString:
+			i, err := strconv.ParseInt(strings.TrimSpace(v.S), 10, 64)
+			if err != nil {
+				return storage.Null, fmt.Errorf("exec: cannot cast %q to int", v.S)
+			}
+			return storage.Int(i), nil
+		}
+	case "float", "real", "decimal", "numeric", "money":
+		if f, ok := v.AsFloat(); ok {
+			return storage.Float(f), nil
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.S), 64)
+		if err != nil {
+			return storage.Null, fmt.Errorf("exec: cannot cast %q to float", v.S)
+		}
+		return storage.Float(f), nil
+	case "varchar", "nvarchar", "char", "nchar", "text":
+		return storage.Str(v.String()), nil
+	case "bit":
+		if f, ok := v.AsFloat(); ok {
+			return storage.Bool(f != 0), nil
+		}
+	}
+	return storage.Null, fmt.Errorf("exec: unsupported cast target %q", typ)
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards.
+func likeMatch(s, pat string) bool {
+	return likeRec(strings.ToLower(s), strings.ToLower(pat))
+}
+
+func likeRec(s, pat string) bool {
+	for len(pat) > 0 {
+		switch pat[0] {
+		case '%':
+			pat = pat[1:]
+			if len(pat) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(s[i:], pat) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, pat = s[1:], pat[1:]
+		default:
+			if len(s) == 0 || s[0] != pat[0] {
+				return false
+			}
+			s, pat = s[1:], pat[1:]
+		}
+	}
+	return len(s) == 0
+}
+
+func (e *Engine) evalScalarFunc(v *sqlast.FuncCall, cols []ColInfo, row storage.Row) (storage.Value, error) {
+	name := strings.ToLower(v.Name)
+	args := make([]storage.Value, 0, len(v.Args))
+	for _, a := range v.Args {
+		av, err := e.evalExpr(a, cols, row)
+		if err != nil {
+			return storage.Null, err
+		}
+		args = append(args, av)
+	}
+	num := func(i int) (float64, bool) {
+		if i >= len(args) {
+			return 0, false
+		}
+		return args[i].AsFloat()
+	}
+	switch name {
+	case "abs":
+		if f, ok := num(0); ok {
+			return storage.Float(math.Abs(f)), nil
+		}
+	case "floor":
+		if f, ok := num(0); ok {
+			return storage.Float(math.Floor(f)), nil
+		}
+	case "ceiling", "ceil":
+		if f, ok := num(0); ok {
+			return storage.Float(math.Ceil(f)), nil
+		}
+	case "sqrt":
+		if f, ok := num(0); ok {
+			return storage.Float(math.Sqrt(f)), nil
+		}
+	case "power":
+		if a, ok := num(0); ok {
+			if b, ok2 := num(1); ok2 {
+				return storage.Float(math.Pow(a, b)), nil
+			}
+		}
+	case "round":
+		if f, ok := num(0); ok {
+			digits := 0.0
+			if d, ok2 := num(1); ok2 {
+				digits = d
+			}
+			scale := math.Pow(10, digits)
+			return storage.Float(math.Round(f*scale) / scale), nil
+		}
+	case "str":
+		if len(args) > 0 {
+			return storage.Str(args[0].String()), nil
+		}
+	case "upper":
+		if len(args) > 0 && args[0].Kind == storage.KindString {
+			return storage.Str(strings.ToUpper(args[0].S)), nil
+		}
+	case "lower":
+		if len(args) > 0 && args[0].Kind == storage.KindString {
+			return storage.Str(strings.ToLower(args[0].S)), nil
+		}
+	case "ltrim":
+		if len(args) > 0 && args[0].Kind == storage.KindString {
+			return storage.Str(strings.TrimLeft(args[0].S, " ")), nil
+		}
+	case "rtrim":
+		if len(args) > 0 && args[0].Kind == storage.KindString {
+			return storage.Str(strings.TrimRight(args[0].S, " ")), nil
+		}
+	case "isnull", "coalesce":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return storage.Null, nil
+	}
+	// Unknown scalar functions evaluate to NULL so that log replay does not
+	// abort on exotic builtins.
+	return storage.Null, nil
+}
+
+// ---------------------------------------------------------------------------
+// Projection and aggregation
+// ---------------------------------------------------------------------------
+
+func hasAggregates(sel *sqlast.SelectStatement) bool {
+	agg := false
+	for _, it := range sel.Items {
+		sqlast.Walk(it.Expr, func(n sqlast.Node) bool {
+			if f, ok := n.(*sqlast.FuncCall); ok && isAggregate(f.Name) {
+				agg = true
+			}
+			_, isSub := n.(*sqlast.SubqueryExpr)
+			return !isSub
+		})
+	}
+	return agg
+}
+
+func isAggregate(name string) bool {
+	switch strings.ToLower(name) {
+	case "count", "sum", "avg", "min", "max":
+		return true
+	}
+	return false
+}
+
+// project evaluates the select list, handling GROUP BY and aggregates.
+func (e *Engine) project(sel *sqlast.SelectStatement, src *Relation) (*Relation, error) {
+	if len(sel.GroupBy) == 0 && !hasAggregates(sel) {
+		return e.projectPlain(sel, src)
+	}
+	return e.projectGrouped(sel, src)
+}
+
+func (e *Engine) projectPlain(sel *sqlast.SelectStatement, src *Relation) (*Relation, error) {
+	out := &Relation{}
+	plan, err := expandItems(sel.Items, src.Cols)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range plan {
+		out.Cols = append(out.Cols, ColInfo{Name: p.name})
+	}
+	for _, row := range src.Rows {
+		res := make(storage.Row, 0, len(plan))
+		for _, p := range plan {
+			if p.srcIdx >= 0 {
+				res = append(res, row[p.srcIdx])
+				continue
+			}
+			v, err := e.evalExpr(p.expr, src.Cols, row)
+			if err != nil {
+				return nil, err
+			}
+			res = append(res, v)
+		}
+		out.Rows = append(out.Rows, res)
+	}
+	return out, nil
+}
+
+type projItem struct {
+	name   string
+	expr   sqlast.Expr
+	srcIdx int // >= 0 for direct column pass-through
+}
+
+// expandItems resolves * and qualified stars into concrete source columns.
+func expandItems(items []sqlast.SelectItem, cols []ColInfo) ([]projItem, error) {
+	var out []projItem
+	for _, it := range items {
+		if c, ok := it.Expr.(*sqlast.ColumnRef); ok {
+			if c.Star {
+				qual := strings.ToLower(c.Qualifier)
+				for i, ci := range cols {
+					if qual == "" || ci.Alias == qual {
+						out = append(out, projItem{name: ci.Name, srcIdx: i})
+					}
+				}
+				continue
+			}
+			if i, ok := findCol(cols, c); ok {
+				name := strings.ToLower(c.Name)
+				if it.Alias != "" {
+					name = strings.ToLower(it.Alias)
+				}
+				out = append(out, projItem{name: name, srcIdx: i})
+				continue
+			}
+			return nil, fmt.Errorf("exec: unknown column %s", colName(c))
+		}
+		name := strings.ToLower(it.Alias)
+		if name == "" {
+			name = "expr"
+		}
+		out = append(out, projItem{name: name, expr: it.Expr, srcIdx: -1})
+	}
+	return out, nil
+}
+
+func (e *Engine) projectGrouped(sel *sqlast.SelectStatement, src *Relation) (*Relation, error) {
+	// Partition rows by the GROUP BY key (a single group when absent).
+	type group struct {
+		key  string
+		rows []storage.Row
+	}
+	var groups []*group
+	byKey := map[string]*group{}
+	if len(sel.GroupBy) == 0 {
+		g := &group{rows: src.Rows}
+		groups = append(groups, g)
+	} else {
+		for _, row := range src.Rows {
+			var b strings.Builder
+			for _, ge := range sel.GroupBy {
+				v, err := e.evalExpr(ge, src.Cols, row)
+				if err != nil {
+					return nil, err
+				}
+				b.WriteString(v.Key())
+				b.WriteByte('\x01')
+			}
+			k := b.String()
+			g, ok := byKey[k]
+			if !ok {
+				g = &group{key: k}
+				byKey[k] = g
+				groups = append(groups, g)
+			}
+			g.rows = append(g.rows, row)
+		}
+	}
+
+	out := &Relation{}
+	for _, it := range sel.Items {
+		name := strings.ToLower(it.Alias)
+		if name == "" {
+			if c, ok := it.Expr.(*sqlast.ColumnRef); ok && !c.Star {
+				name = strings.ToLower(c.Name)
+			} else if f, ok := it.Expr.(*sqlast.FuncCall); ok {
+				name = strings.ToLower(f.Name)
+			} else {
+				name = "expr"
+			}
+		}
+		out.Cols = append(out.Cols, ColInfo{Name: name})
+	}
+
+	for _, g := range groups {
+		if sel.Having != nil {
+			v, err := e.evalAggExpr(sel.Having, src.Cols, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Truth() {
+				continue
+			}
+		}
+		res := make(storage.Row, 0, len(sel.Items))
+		for _, it := range sel.Items {
+			v, err := e.evalAggExpr(it.Expr, src.Cols, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			res = append(res, v)
+		}
+		out.Rows = append(out.Rows, res)
+	}
+	return out, nil
+}
+
+// evalAggExpr evaluates an expression over a group: aggregate calls consume
+// the whole group, everything else is evaluated against the group's first
+// row (the GROUP BY columns are constant within a group).
+func (e *Engine) evalAggExpr(x sqlast.Expr, cols []ColInfo, rows []storage.Row) (storage.Value, error) {
+	if f, ok := x.(*sqlast.FuncCall); ok && isAggregate(f.Name) {
+		return e.evalAggregate(f, cols, rows)
+	}
+	switch v := x.(type) {
+	case *sqlast.BinaryExpr:
+		l, err := e.evalAggExpr(v.Left, cols, rows)
+		if err != nil {
+			return storage.Null, err
+		}
+		r, err := e.evalAggExpr(v.Right, cols, rows)
+		if err != nil {
+			return storage.Null, err
+		}
+		return e.evalBinary(&sqlast.BinaryExpr{Op: v.Op, Left: valueLiteral(l), Right: valueLiteral(r)}, nil, nil)
+	case *sqlast.ParenExpr:
+		return e.evalAggExpr(v.X, cols, rows)
+	}
+	if len(rows) == 0 {
+		return storage.Null, nil
+	}
+	return e.evalExpr(x, cols, rows[0])
+}
+
+// valueLiteral wraps an evaluated value back into an AST literal so the
+// scalar evaluator can combine aggregate results.
+func valueLiteral(v storage.Value) sqlast.Expr {
+	switch v.Kind {
+	case storage.KindNull:
+		return &sqlast.Literal{Kind: "null"}
+	case storage.KindString:
+		return &sqlast.Literal{Kind: "str", Val: v.S}
+	case storage.KindFloat:
+		return &sqlast.Literal{Kind: "num", Val: strconv.FormatFloat(v.F, 'g', -1, 64)}
+	default:
+		return &sqlast.Literal{Kind: "num", Val: strconv.FormatInt(v.I, 10)}
+	}
+}
+
+func (e *Engine) evalAggregate(f *sqlast.FuncCall, cols []ColInfo, rows []storage.Row) (storage.Value, error) {
+	name := strings.ToLower(f.Name)
+	if name == "count" && (f.Star || len(f.Args) == 0) {
+		return storage.Int(int64(len(rows))), nil
+	}
+	if len(f.Args) != 1 {
+		return storage.Null, fmt.Errorf("exec: aggregate %s wants one argument", name)
+	}
+	var vals []storage.Value
+	seen := map[string]bool{}
+	for _, row := range rows {
+		v, err := e.evalExpr(f.Args[0], cols, row)
+		if err != nil {
+			return storage.Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if f.Distinct {
+			k := v.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch name {
+	case "count":
+		return storage.Int(int64(len(vals))), nil
+	case "sum", "avg":
+		var total float64
+		allInt := true
+		for _, v := range vals {
+			fv, ok := v.AsFloat()
+			if !ok {
+				return storage.Null, fmt.Errorf("exec: %s over non-numeric values", name)
+			}
+			if v.Kind != storage.KindInt {
+				allInt = false
+			}
+			total += fv
+		}
+		if len(vals) == 0 {
+			return storage.Null, nil
+		}
+		if name == "avg" {
+			return storage.Float(total / float64(len(vals))), nil
+		}
+		if allInt {
+			return storage.Int(int64(total)), nil
+		}
+		return storage.Float(total), nil
+	case "min", "max":
+		if len(vals) == 0 {
+			return storage.Null, nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, ok := storage.Compare(v, best)
+			if !ok {
+				continue
+			}
+			if (name == "min" && c < 0) || (name == "max" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return storage.Null, fmt.Errorf("exec: unsupported aggregate %s", name)
+}

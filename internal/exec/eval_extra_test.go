@@ -1,0 +1,161 @@
+package exec
+
+import (
+	"testing"
+
+	"sqlclean/internal/storage"
+)
+
+func TestBitwiseOperators(t *testing.T) {
+	e := demoEngine(t)
+	rs := query(t, e, "SELECT 6 & 3, 6 | 3, 6 ^ 3 FROM emp WHERE id = 1")
+	r := rs.Rows[0]
+	if r[0].I != 2 || r[1].I != 7 || r[2].I != 5 {
+		t.Fatalf("bitwise: %v", r)
+	}
+	// Bitwise on non-integers yields NULL.
+	rs = query(t, e, "SELECT name & 1 FROM emp WHERE id = 1")
+	if !rs.Rows[0][0].IsNull() {
+		t.Fatalf("string bitwise: %v", rs.Rows[0][0])
+	}
+}
+
+func TestUnaryOperatorsInQueries(t *testing.T) {
+	e := demoEngine(t)
+	rs := query(t, e, "SELECT -salary, ~id, +bonus FROM emp WHERE id = 1")
+	r := rs.Rows[0]
+	if r[0].I != -100 || r[1].I != ^int64(1) || r[2].I != 10 {
+		t.Fatalf("unary: %v", r)
+	}
+	rs = query(t, e, "SELECT name FROM emp WHERE NOT dep = 'sales' AND NOT bonus IS NULL")
+	if len(rs.Rows) != 2 {
+		t.Fatalf("NOT: %v", rs.Rows)
+	}
+}
+
+func TestStringConcatenation(t *testing.T) {
+	e := demoEngine(t)
+	rs := query(t, e, "SELECT name + '!' FROM emp WHERE id = 1")
+	if rs.Rows[0][0].S != "ann!" {
+		t.Fatalf("concat: %v", rs.Rows[0][0])
+	}
+}
+
+func TestNullArithmeticPropagates(t *testing.T) {
+	e := demoEngine(t)
+	rs := query(t, e, "SELECT bonus + 1 FROM emp WHERE id = 2")
+	if !rs.Rows[0][0].IsNull() {
+		t.Fatalf("null arithmetic: %v", rs.Rows[0][0])
+	}
+}
+
+func TestScalarFunctionsMore(t *testing.T) {
+	e := demoEngine(t)
+	rs := query(t, e, "SELECT floor(2.7), ceiling(2.1), sqrt(16), power(2, 10), round(2.567, 2), lower('AB'), ltrim('  x'), rtrim('x  ') FROM emp WHERE id = 1")
+	r := rs.Rows[0]
+	if r[0].F != 2 || r[1].F != 3 || r[2].F != 4 || r[3].F != 1024 {
+		t.Fatalf("math funcs: %v", r)
+	}
+	if r[4].F != 2.57 || r[5].S != "ab" || r[6].S != "x" || r[7].S != "x" {
+		t.Fatalf("string funcs: %v", r)
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	e := demoEngine(t)
+	rs := query(t, e, "SELECT coalesce(bonus, salary, 0) FROM emp WHERE id = 2")
+	if rs.Rows[0][0].I != 80 {
+		t.Fatalf("coalesce: %v", rs.Rows[0][0])
+	}
+}
+
+func TestMinMaxOverStrings(t *testing.T) {
+	e := demoEngine(t)
+	rs := query(t, e, "SELECT min(name), max(name) FROM emp")
+	if rs.Rows[0][0].S != "ann" || rs.Rows[0][1].S != "eve" {
+		t.Fatalf("string min/max: %v", rs.Rows[0])
+	}
+}
+
+func TestAvgOfEmptyGroupIsNull(t *testing.T) {
+	e := demoEngine(t)
+	rs := query(t, e, "SELECT avg(salary) FROM emp WHERE id = 999")
+	if !rs.Rows[0][0].IsNull() {
+		t.Fatalf("empty avg: %v", rs.Rows[0][0])
+	}
+	rs = query(t, e, "SELECT count(*) FROM emp WHERE id = 999")
+	if rs.Rows[0][0].I != 0 {
+		t.Fatalf("empty count: %v", rs.Rows[0][0])
+	}
+}
+
+func TestAggregateArithmetic(t *testing.T) {
+	e := demoEngine(t)
+	rs := query(t, e, "SELECT max(salary) - min(salary) FROM emp")
+	if v, _ := rs.Rows[0][0].AsFloat(); v != 50 {
+		t.Fatalf("aggregate arithmetic: %v", rs.Rows[0][0])
+	}
+}
+
+func TestQualifiedStarProjection(t *testing.T) {
+	e := demoEngine(t)
+	rs := query(t, e, "SELECT d.* FROM emp e JOIN dep d ON e.dep = d.dep WHERE e.id = 1")
+	if len(rs.Cols) != 2 || rs.Rows[0][1].S != "Rome" {
+		t.Fatalf("qualified star: %v %v", rs.Cols, rs.Rows)
+	}
+}
+
+func TestAmbiguousColumnPicksFirst(t *testing.T) {
+	// Both emp and dep have a "dep" column; unqualified resolution takes
+	// the first in relation order (documented engine behavior).
+	e := demoEngine(t)
+	rs := query(t, e, "SELECT dep FROM emp e JOIN dep d ON e.dep = d.dep WHERE e.id = 1")
+	if rs.Rows[0][0].S != "sales" {
+		t.Fatalf("resolution: %v", rs.Rows[0][0])
+	}
+}
+
+func TestValueLiteralRoundTrip(t *testing.T) {
+	for _, v := range []storage.Value{
+		storage.Int(42), storage.Float(2.5), storage.Str("x"), storage.Null,
+	} {
+		e := valueLiteral(v)
+		ee := &Engine{}
+		got, err := ee.evalExpr(e, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind != v.Kind && !(v.Kind == storage.KindNull && got.IsNull()) {
+			t.Errorf("kind: %v vs %v", got.Kind, v.Kind)
+		}
+		if got.String() != v.String() {
+			t.Errorf("value: %v vs %v", got, v)
+		}
+	}
+}
+
+func TestCrossApplyAndParenJoin(t *testing.T) {
+	e := demoEngine(t)
+	rs := query(t, e, "SELECT count(*) FROM (emp e JOIN dep d ON e.dep = d.dep)")
+	if rs.Rows[0][0].I != 4 {
+		t.Fatalf("paren join: %v", rs.Rows[0][0])
+	}
+}
+
+func TestRightAndFullJoin(t *testing.T) {
+	e := demoEngine(t)
+	// dep 'hr' has no... actually every dep row matches an emp; add one
+	// that doesn't.
+	if err := e.DB.Insert("dep", storage.Row{storage.Str("legal"), storage.Str("Oslo")}); err != nil {
+		t.Fatal(err)
+	}
+	rs := query(t, e, "SELECT d.dep FROM emp e RIGHT JOIN dep d ON e.dep = d.dep WHERE e.name IS NULL")
+	if len(rs.Rows) != 1 || rs.Rows[0][0].S != "legal" {
+		t.Fatalf("right join: %v", rs.Rows)
+	}
+	rs = query(t, e, "SELECT count(*) FROM emp e FULL OUTER JOIN dep d ON e.dep = d.dep")
+	// 4 matches + eve (hr unmatched) + legal unmatched = 6.
+	if rs.Rows[0][0].I != 6 {
+		t.Fatalf("full join: %v", rs.Rows[0][0])
+	}
+}

@@ -1,0 +1,186 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlclean/internal/sqlast"
+	"sqlclean/internal/sqlparser"
+)
+
+// Explain returns a one-node-per-line description of how the engine would
+// execute the statement: access paths (index lookup vs full scan), join
+// strategies (hash vs nested loop), and the filter/aggregate/sort/top
+// stages. It performs no data access beyond reading table sizes.
+func (e *Engine) Explain(sql string) (string, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	e.explainSelect(&b, sel, 0)
+	return b.String(), nil
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func (e *Engine) explainSelect(b *strings.Builder, sel *sqlast.SelectStatement, depth int) {
+	line := func(format string, args ...any) {
+		indent(b, depth)
+		fmt.Fprintf(b, format+"\n", args...)
+	}
+	if sel.Top != nil {
+		pct := ""
+		if sel.TopPercent {
+			pct = " PERCENT"
+		}
+		line("Top(%s%s)", sel.Top.Val, pct)
+		depth++
+		line = func(format string, args ...any) {
+			indent(b, depth)
+			fmt.Fprintf(b, format+"\n", args...)
+		}
+	}
+	if len(sel.OrderBy) > 0 {
+		keys := make([]string, 0, len(sel.OrderBy))
+		for _, oi := range sel.OrderBy {
+			k := sqlast.PrintExpr(oi.Expr, sqlast.PrintOptions{NormalizeIdents: true})
+			if oi.Desc {
+				k += " DESC"
+			}
+			keys = append(keys, k)
+		}
+		line("Sort(%s)", strings.Join(keys, ", "))
+		depth++
+	}
+	if sel.Distinct {
+		indent(b, depth)
+		b.WriteString("Distinct\n")
+		depth++
+	}
+	if len(sel.GroupBy) > 0 || hasAggregates(sel) {
+		keys := make([]string, 0, len(sel.GroupBy))
+		for _, g := range sel.GroupBy {
+			keys = append(keys, sqlast.PrintExpr(g, sqlast.PrintOptions{NormalizeIdents: true}))
+		}
+		indent(b, depth)
+		if len(keys) > 0 {
+			fmt.Fprintf(b, "HashAggregate(group by %s)\n", strings.Join(keys, ", "))
+		} else {
+			b.WriteString("Aggregate\n")
+		}
+		depth++
+	}
+	indent(b, depth)
+	fmt.Fprintf(b, "Project(%d items)\n", len(sel.Items))
+	depth++
+	if sel.Where != nil {
+		indent(b, depth)
+		fmt.Fprintf(b, "Filter(%s)\n", sqlast.PrintExpr(sel.Where, sqlast.PrintOptions{NormalizeIdents: true}))
+		depth++
+	}
+	for i, ts := range sel.From {
+		e.explainSource(b, ts, sel.Where, depth, i == 0)
+	}
+	if len(sel.From) == 0 {
+		indent(b, depth)
+		b.WriteString("ConstantRow\n")
+	}
+	if sel.SetOp != "" && sel.SetRight != nil {
+		indent(b, depth-1)
+		fmt.Fprintf(b, "%s\n", sel.SetOp)
+		e.explainSelect(b, sel.SetRight, depth)
+	}
+}
+
+// explainSource describes one FROM entry. first marks the entry whose scan
+// may use the WHERE clause for an index path (mirroring evalSimpleSelect).
+func (e *Engine) explainSource(b *strings.Builder, ts sqlast.TableSource, where sqlast.Expr, depth int, first bool) {
+	switch t := ts.(type) {
+	case *sqlast.TableRef:
+		indent(b, depth)
+		tbl, ok := e.DB.Table(t.Name)
+		if !ok {
+			fmt.Fprintf(b, "TableScan(%s: unknown table)\n", strings.ToLower(t.Name))
+			return
+		}
+		alias := strings.ToLower(t.Alias)
+		if alias == "" {
+			alias = strings.ToLower(t.Name)
+		}
+		if first && where != nil {
+			if col, kind, ok := indexablePredicate(tbl, alias, where); ok {
+				fmt.Fprintf(b, "IndexLookup(%s.%s %s)\n", strings.ToLower(t.Name), col, kind)
+				return
+			}
+		}
+		fmt.Fprintf(b, "TableScan(%s, %d rows)\n", strings.ToLower(t.Name), len(tbl.Rows))
+	case *sqlast.FuncSource:
+		indent(b, depth)
+		fmt.Fprintf(b, "TableFunction(%s)\n", strings.ToLower(t.Call.Name))
+	case *sqlast.DerivedTable:
+		indent(b, depth)
+		fmt.Fprintf(b, "Derived(%s)\n", strings.ToLower(t.Alias))
+		e.explainSelect(b, t.Sub, depth+1)
+	case *sqlast.Join:
+		indent(b, depth)
+		strategy := "NestedLoopJoin"
+		if t.Kind == sqlast.CrossJoin || t.Kind == sqlast.CrossApply || t.Kind == sqlast.OuterApply {
+			strategy = "CrossProduct"
+		} else if isEquiJoin(t.Cond) {
+			strategy = "HashJoin"
+		}
+		fmt.Fprintf(b, "%s(%s)\n", strategy, t.Kind)
+		e.explainSource(b, t.Left, nil, depth+1, false)
+		e.explainSource(b, t.Right, nil, depth+1, false)
+	}
+}
+
+// indexablePredicate reports whether the WHERE clause carries an equality
+// or IN predicate the table's hash indexes can serve.
+func indexablePredicate(tbl interface {
+	HasIndex(string) bool
+}, alias string, where sqlast.Expr) (col, kind string, ok bool) {
+	var conjuncts []sqlast.Expr
+	collectConjuncts(where, &conjuncts)
+	for _, c := range conjuncts {
+		switch x := c.(type) {
+		case *sqlast.BinaryExpr:
+			if x.Op != "=" {
+				continue
+			}
+			cr, lit := splitColLit(x.Left, x.Right)
+			if cr == nil || lit == nil || !colMatches(cr, alias) {
+				continue
+			}
+			if tbl.HasIndex(cr.Name) {
+				return strings.ToLower(cr.Name), "=", true
+			}
+		case *sqlast.InExpr:
+			cr, isCol := x.X.(*sqlast.ColumnRef)
+			if !isCol || x.Not || x.Sub != nil || !colMatches(cr, alias) {
+				continue
+			}
+			if tbl.HasIndex(cr.Name) {
+				return strings.ToLower(cr.Name), "IN", true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// isEquiJoin reports whether the join condition is a plain column equality
+// (the hash-join path).
+func isEquiJoin(cond sqlast.Expr) bool {
+	be, ok := cond.(*sqlast.BinaryExpr)
+	if !ok || be.Op != "=" {
+		return false
+	}
+	_, okL := be.Left.(*sqlast.ColumnRef)
+	_, okR := be.Right.(*sqlast.ColumnRef)
+	return okL && okR
+}

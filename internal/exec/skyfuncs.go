@@ -1,0 +1,174 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sqlclean/internal/storage"
+)
+
+// RegisterSkyFuncs installs emulations of the SkyServer table-valued
+// functions the paper's top patterns use (Table 7): fGetNearbyObjEq,
+// fGetNearestObjEq and fGetObjFromRect. They search the photoprimary table
+// by equatorial coordinates; distances use a flat-sky approximation, which
+// is accurate enough for the synthetic workload and keeps the code
+// dependency-free.
+func RegisterSkyFuncs(e *Engine) {
+	e.RegisterFunc("fGetNearbyObjEq", func(args []storage.Value) (*Relation, error) {
+		ra, dec, r, err := raDecR(args)
+		if err != nil {
+			return nil, err
+		}
+		return e.searchNearby(ra, dec, r, -1)
+	})
+	e.RegisterFunc("fGetNearestObjEq", func(args []storage.Value) (*Relation, error) {
+		ra, dec, r, err := raDecR(args)
+		if err != nil {
+			return nil, err
+		}
+		return e.searchNearby(ra, dec, r, 1)
+	})
+	// Aliases real logs use for the same searches.
+	e.RegisterFunc("fGetNearbyObjAllEq", func(args []storage.Value) (*Relation, error) {
+		ra, dec, r, err := raDecR(args)
+		if err != nil {
+			return nil, err
+		}
+		return e.searchNearby(ra, dec, r, -1)
+	})
+	e.RegisterFunc("fGetObjFromRectEq", func(args []storage.Value) (*Relation, error) {
+		return e.rectSearch(args)
+	})
+	e.RegisterFunc("fGetObjFromRect", func(args []storage.Value) (*Relation, error) {
+		return e.rectSearch(args)
+	})
+}
+
+func (e *Engine) rectSearch(args []storage.Value) (*Relation, error) {
+	if len(args) != 4 {
+		return nil, fmt.Errorf("exec: rectangle search wants 4 arguments, got %d", len(args))
+	}
+	vals := make([]float64, 4)
+	for i, a := range args {
+		f, ok := a.AsFloat()
+		if !ok {
+			// NULL argument (unbound @variable): empty result.
+			return &Relation{Cols: nearbyCols()}, nil
+		}
+		vals[i] = f
+	}
+	return e.searchRect(vals[0], vals[1], vals[2], vals[3])
+}
+
+func raDecR(args []storage.Value) (ra, dec, r float64, err error) {
+	if len(args) != 3 {
+		return 0, 0, 0, fmt.Errorf("exec: spatial function wants 3 arguments, got %d", len(args))
+	}
+	fs := make([]float64, 3)
+	for i, a := range args {
+		f, ok := a.AsFloat()
+		if !ok {
+			return math.NaN(), 0, 0, nil // NULL → empty search
+		}
+		fs[i] = f
+	}
+	return fs[0], fs[1], fs[2], nil
+}
+
+func nearbyCols() []ColInfo {
+	return []ColInfo{{Name: "objid"}, {Name: "ra"}, {Name: "dec"}, {Name: "distance"}}
+}
+
+// searchNearby scans photoprimary for objects within r arcmin of (ra, dec).
+// limit > 0 keeps only the closest `limit` objects.
+func (e *Engine) searchNearby(ra, dec, r float64, limit int) (*Relation, error) {
+	rel := &Relation{Cols: nearbyCols()}
+	if math.IsNaN(ra) {
+		return rel, nil
+	}
+	tbl, ok := e.DB.Table("photoprimary")
+	if !ok {
+		return nil, fmt.Errorf("exec: spatial search needs table photoprimary")
+	}
+	objIdx, raIdx, decIdx, err := photoCols(tbl)
+	if err != nil {
+		return nil, err
+	}
+	rDeg := r / 60 // arcmin → degrees
+	type hit struct {
+		row  storage.Row
+		dist float64
+	}
+	var best []hit
+	for _, row := range tbl.Rows {
+		e.Stats.RowsScanned++
+		rowRA, _ := row[raIdx].AsFloat()
+		rowDec, _ := row[decIdx].AsFloat()
+		d := math.Hypot(rowRA-ra, rowDec-dec)
+		if d > rDeg {
+			continue
+		}
+		h := hit{dist: d * 60, row: storage.Row{row[objIdx], row[raIdx], row[decIdx], storage.Float(d * 60)}}
+		if limit <= 0 {
+			rel.Rows = append(rel.Rows, h.row)
+			continue
+		}
+		best = append(best, h)
+	}
+	if limit > 0 {
+		for len(best) > 0 && len(rel.Rows) < limit {
+			bi := 0
+			for i := 1; i < len(best); i++ {
+				if best[i].dist < best[bi].dist {
+					bi = i
+				}
+			}
+			rel.Rows = append(rel.Rows, best[bi].row)
+			best = append(best[:bi], best[bi+1:]...)
+		}
+	}
+	return rel, nil
+}
+
+func (e *Engine) searchRect(ra1, dec1, ra2, dec2 float64) (*Relation, error) {
+	rel := &Relation{Cols: nearbyCols()}
+	tbl, ok := e.DB.Table("photoprimary")
+	if !ok {
+		return nil, fmt.Errorf("exec: spatial search needs table photoprimary")
+	}
+	objIdx, raIdx, decIdx, err := photoCols(tbl)
+	if err != nil {
+		return nil, err
+	}
+	raLo, raHi := math.Min(ra1, ra2), math.Max(ra1, ra2)
+	decLo, decHi := math.Min(dec1, dec2), math.Max(dec1, dec2)
+	for _, row := range tbl.Rows {
+		e.Stats.RowsScanned++
+		rowRA, _ := row[raIdx].AsFloat()
+		rowDec, _ := row[decIdx].AsFloat()
+		if rowRA < raLo || rowRA > raHi || rowDec < decLo || rowDec > decHi {
+			continue
+		}
+		rel.Rows = append(rel.Rows, storage.Row{row[objIdx], row[raIdx], row[decIdx], storage.Float(0)})
+	}
+	return rel, nil
+}
+
+func photoCols(tbl *storage.Table) (objIdx, raIdx, decIdx int, err error) {
+	get := func(name string) (int, error) {
+		i, ok := tbl.ColIndex(name)
+		if !ok {
+			return 0, fmt.Errorf("exec: table %s lacks column %s", strings.ToLower(tbl.Def.Name), name)
+		}
+		return i, nil
+	}
+	if objIdx, err = get("objid"); err != nil {
+		return
+	}
+	if raIdx, err = get("ra"); err != nil {
+		return
+	}
+	decIdx, err = get("dec")
+	return
+}

@@ -1,0 +1,145 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) plus the beyond-paper experiments (residue, recommender
+// contamination, detector accuracy) against the synthetic workload. The
+// cmd/experiments binary is a thin wrapper; keeping the experiment bodies
+// here makes them testable.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"sqlclean/internal/core"
+	"sqlclean/internal/logmodel"
+	"sqlclean/internal/workload"
+)
+
+// env carries the shared workload and the lazily computed pipeline result.
+type env struct {
+	w     io.Writer
+	scale float64
+	seed  int64
+	top   int
+
+	log   logmodel.Log
+	truth *workload.Truth
+	res   *core.Result
+	err   error
+}
+
+// result runs the pipeline once and caches it.
+func (e *env) result() *core.Result {
+	if e.res == nil && e.err == nil {
+		e.res, e.err = core.Run(e.log, core.Config{})
+	}
+	if e.err != nil {
+		panic(e.err) // recovered by Run below
+	}
+	return e.res
+}
+
+func fatalIn(e *env, err error) {
+	panic(err)
+}
+
+// Experiment describes one runnable experiment.
+type Experiment struct {
+	Name  string
+	Title string
+	run   func(*env)
+}
+
+// All returns the experiment registry in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"table4", "Table 4: duplicate time threshold sweep", runTable4},
+		{"table5", "Table 5: results overview", runTable5},
+		{"table6", "Table 6: the most popular antipatterns", runTable6},
+		{"table7", "Table 7: the most popular patterns (after cleaning)", runTable7},
+		{"table8", "Table 8: SWS coverage vs frequency and user-popularity thresholds", runTable8},
+		{"runtime", "§6.3: runtime effect of rewriting antipatterns", runRuntime},
+		{"fig2a", "Fig. 2(a): top patterns before and after cleaning", runFig2a},
+		{"fig2b", "Fig. 2(b): frequency and user popularity of the patterns", runFig2b},
+		{"fig2c", "Fig. 2(c): with and without user-session information", runFig2c},
+		{"fig2d", "Fig. 2(d): possible and real CTH antipatterns", runFig2d},
+		{"cthsamples", "Tables 9/10: inspecting CTH candidates by time gap (§6.6)", runCTHSamples},
+		{"fig3", "Fig. 3: query clustering on raw / clean / removal logs", runFig3},
+		{"fig4", "Fig. 4: cluster sizes by rank; DS clusters clean vs raw", runFig4},
+		{"residue", "§5.5: solvable-antipattern residue after one cleaning pass", runResidue},
+		{"recommend", "§7: antipattern contamination of query recommendations", runRecommend},
+		{"accuracy", "detector precision/recall against generator ground truth", runAccuracy},
+	}
+}
+
+// Options configure a Run.
+type Options struct {
+	// Names selects experiments ("all" or names from All). Empty means all.
+	Names []string
+	// Scale and Seed configure the shared workload.
+	Scale float64
+	Seed  int64
+	// Top bounds top-k tables; zero selects 5.
+	Top int
+}
+
+// Run executes the selected experiments, writing their reports to w. It
+// returns an error for unknown experiment names or failing pipelines.
+func Run(w io.Writer, opt Options) (err error) {
+	if opt.Scale == 0 {
+		opt.Scale = 1
+	}
+	if opt.Top == 0 {
+		opt.Top = 5
+	}
+	want := map[string]bool{}
+	all := len(opt.Names) == 0
+	for _, n := range opt.Names {
+		n = strings.TrimSpace(n)
+		if n == "all" {
+			all = true
+			continue
+		}
+		want[n] = true
+	}
+	known := map[string]bool{}
+	for _, ex := range All() {
+		known[ex.Name] = true
+	}
+	for n := range want {
+		if !known[n] {
+			return fmt.Errorf("experiments: unknown experiment %q", n)
+		}
+	}
+
+	cfg := workload.DefaultConfig().Scale(opt.Scale)
+	cfg.Seed = opt.Seed
+	log, truth := workload.Generate(cfg)
+	e := &env{w: w, scale: opt.Scale, seed: opt.Seed, top: opt.Top, log: log, truth: truth}
+	fmt.Fprintf(w, "workload: %d entries, %d users (scale %.2f, seed %d)\n", len(log), log.Users(), opt.Scale, opt.Seed)
+
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	for _, ex := range All() {
+		if !all && !want[ex.Name] {
+			continue
+		}
+		fmt.Fprintf(w, "\n=== %s — %s ===\n", ex.Name, ex.Title)
+		ex.run(e)
+	}
+	return nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRuns executes the full registry at a small scale and
+// checks each experiment emits its section and its signature content.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	var buf bytes.Buffer
+	if err := Run(&buf, Options{Scale: 0.25, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	signatures := map[string]string{
+		"table4":     "Non restricted",
+		"table5":     "Size of original query log",
+		"table6":     "First skeleton statement",
+		"table7":     "Coverage",
+		"table8":     "userPop",
+		"runtime":    "statement reduction",
+		"fig2a":      "antipatterns among the top-15",
+		"fig2b":      "userPop",
+		"fig2c":      "without info",
+		"fig2d":      "real?",
+		"cthsamples": "head→follower gap",
+		"fig3":       "threshold",
+		"fig4":       "DS cluster",
+		"residue":    "solvable residue",
+		"recommend":  "mass-antipattern",
+		"accuracy":   "Stifle recall vs session gap",
+	}
+	for _, ex := range All() {
+		header := "=== " + ex.Name + " —"
+		if !strings.Contains(out, header) {
+			t.Errorf("experiment %s produced no section", ex.Name)
+		}
+		sig, ok := signatures[ex.Name]
+		if !ok {
+			t.Errorf("experiment %s has no signature in this test — add one", ex.Name)
+			continue
+		}
+		if !strings.Contains(out, sig) {
+			t.Errorf("experiment %s output lacks %q", ex.Name, sig)
+		}
+	}
+}
+
+func TestRunSubsetAndUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, Options{Names: []string{"table4"}, Scale: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "=== table4") || strings.Contains(out, "=== table5") {
+		t.Errorf("subset selection broken:\n%.200s", out)
+	}
+	if err := Run(&buf, Options{Names: []string{"nope"}}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestAllRegistryIsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ex := range All() {
+		if ex.Name == "" || ex.Title == "" || ex.run == nil {
+			t.Errorf("malformed experiment: %+v", ex)
+		}
+		if seen[ex.Name] {
+			t.Errorf("duplicate experiment %s", ex.Name)
+		}
+		seen[ex.Name] = true
+	}
+}

@@ -1,0 +1,39 @@
+package logmodel
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzTSVRoundTrip checks that any statement/user/session content survives
+// a TSV write-read cycle byte-for-byte.
+func FuzzTSVRoundTrip(f *testing.F) {
+	f.Add("SELECT a FROM t", "10.0.0.1", "s1", int64(5))
+	f.Add("multi\nline\tstmt\\", "", "", int64(-3))
+	f.Add("", "u", "s", int64(0))
+	f.Fuzz(func(t *testing.T, stmt, user, sess string, rows int64) {
+		if rows < 0 {
+			rows = -1
+		}
+		in := Log{{Time: time.Unix(99, 0).UTC(), User: user, Session: sess, Rows: rows, Statement: stmt}}
+		var buf bytes.Buffer
+		if err := WriteTSV(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		out, err := ReadTSV(&buf)
+		if err != nil {
+			t.Fatalf("read back: %v", err)
+		}
+		if stmt == "" && user == "" && sess == "" && rows == -1 {
+			return // a fully empty entry may serialize to a blank-ish line
+		}
+		if len(out) != 1 {
+			t.Fatalf("entries: %d", len(out))
+		}
+		e := out[0]
+		if e.Statement != stmt || e.User != user || e.Session != sess || e.Rows != rows {
+			t.Fatalf("mismatch: %+v", e)
+		}
+	})
+}

@@ -1,0 +1,200 @@
+// Package logmodel defines the query-log representation shared by every
+// stage of the framework: one Entry per logged statement, plus a streaming
+// TSV reader and writer so that large logs never need to be held as raw
+// text. The SkyServer log columns the paper relies on — statement,
+// timestamp, client IP, session label and result-row count — are all
+// modeled; only statement and timestamp are mandatory (paper §6.8).
+package logmodel
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one record of a SQL query log.
+type Entry struct {
+	// Seq is the 0-based position in the original log; it breaks ties when
+	// two statements share a timestamp and keeps ordering stable.
+	Seq int64
+	// Time is when the statement was executed.
+	Time time.Time
+	// User identifies the requester (an IP address in SkyServer). Empty
+	// when the log carries no user information.
+	User string
+	// Session is the user-session label, if logged.
+	Session string
+	// Rows is the result-row count reported by the server; -1 when unknown.
+	Rows int64
+	// Statement is the raw SQL text.
+	Statement string
+}
+
+// Log is an in-memory query log.
+type Log []Entry
+
+// SortStable orders the log by (Time, Seq). All pipeline stages assume this
+// order.
+func (l Log) SortStable() {
+	sort.SliceStable(l, func(i, j int) bool {
+		if !l[i].Time.Equal(l[j].Time) {
+			return l[i].Time.Before(l[j].Time)
+		}
+		return l[i].Seq < l[j].Seq
+	})
+}
+
+// Users returns the number of distinct users in the log.
+func (l Log) Users() int {
+	set := map[string]bool{}
+	for _, e := range l {
+		set[e.User] = true
+	}
+	return len(set)
+}
+
+// StripUsers returns a copy of the log with user and session information
+// removed, emulating the minimal-input experiment of paper §6.8.
+func (l Log) StripUsers() Log {
+	out := make(Log, len(l))
+	for i, e := range l {
+		e.User = ""
+		e.Session = ""
+		out[i] = e
+	}
+	return out
+}
+
+// Clone returns a deep copy of the log (entries are value types).
+func (l Log) Clone() Log {
+	out := make(Log, len(l))
+	copy(out, l)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// TSV serialization
+// ---------------------------------------------------------------------------
+
+// TimeFormat is the on-disk timestamp layout.
+const TimeFormat = "2006-01-02T15:04:05.000"
+
+// escape replaces tab and newline characters inside statements so one entry
+// stays one TSV line.
+func escape(s string) string {
+	r := strings.NewReplacer("\\", `\\`, "\t", `\t`, "\n", `\n`, "\r", `\r`)
+	return r.Replace(s)
+}
+
+func unescape(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i+1 >= len(s) {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case 't':
+			b.WriteByte('\t')
+		case 'n':
+			b.WriteByte('\n')
+		case 'r':
+			b.WriteByte('\r')
+		case '\\':
+			b.WriteByte('\\')
+		default:
+			b.WriteByte('\\')
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// WriteTSV writes the log as tab-separated lines:
+// time, user, session, rows, statement.
+func WriteTSV(w io.Writer, l Log) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range l {
+		rows := ""
+		if e.Rows >= 0 {
+			rows = strconv.FormatInt(e.Rows, 10)
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\t%s\t%s\n",
+			e.Time.UTC().Format(TimeFormat), escape(e.User), escape(e.Session), rows, escape(e.Statement)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ScanTSV streams a TSV log entry by entry, calling fn for each record —
+// constant memory regardless of log size. Seq numbers are assigned in file
+// order. fn returning an error stops the scan and propagates the error.
+func ScanTSV(r io.Reader, fn func(Entry) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	lineNo := 0
+	seq := int64(0)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		e, err := parseTSVLine(line, lineNo)
+		if err != nil {
+			return err
+		}
+		e.Seq = seq
+		seq++
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+func parseTSVLine(line string, lineNo int) (Entry, error) {
+	parts := strings.SplitN(line, "\t", 5)
+	if len(parts) != 5 {
+		return Entry{}, fmt.Errorf("logmodel: line %d: expected 5 tab-separated fields, got %d", lineNo, len(parts))
+	}
+	t, err := time.Parse(TimeFormat, parts[0])
+	if err != nil {
+		return Entry{}, fmt.Errorf("logmodel: line %d: bad timestamp: %v", lineNo, err)
+	}
+	rows := int64(-1)
+	if parts[3] != "" {
+		rows, err = strconv.ParseInt(parts[3], 10, 64)
+		if err != nil {
+			return Entry{}, fmt.Errorf("logmodel: line %d: bad row count: %v", lineNo, err)
+		}
+	}
+	return Entry{
+		Time:      t,
+		User:      unescape(parts[1]),
+		Session:   unescape(parts[2]),
+		Rows:      rows,
+		Statement: unescape(parts[4]),
+	}, nil
+}
+
+// ReadTSV reads a log previously written by WriteTSV. Seq numbers are
+// assigned in file order.
+func ReadTSV(r io.Reader) (Log, error) {
+	var out Log
+	err := ScanTSV(r, func(e Entry) error {
+		out = append(out, e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

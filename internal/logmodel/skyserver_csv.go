@@ -1,0 +1,153 @@
+package logmodel
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ReadSkyServerCSV reads a query log in the CSV export format of the
+// SkyServer SqlLog table (see http://skyserver.sdss.org/log/ for the column
+// description). The first row must be a header. Recognized columns
+// (case-insensitive):
+//
+//   - timestamp: either a single "theTime" column
+//     ("2006-01-02 15:04:05[.000]") or the split "yy","mm","dd","hh","mi",
+//     "ss" columns;
+//   - statement text: "statement", "stmt" or "sql" (required);
+//   - user: "clientIP" or "requestor";
+//   - session: "seq" or "logID";
+//   - result rows: "rows".
+//
+// Unrecognized columns are ignored, so full SqlLog exports load as-is.
+func ReadSkyServerCSV(r io.Reader) (Log, error) {
+	cr := csv.NewReader(r)
+	cr.LazyQuotes = true
+	cr.FieldsPerRecord = -1
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("logmodel: reading CSV header: %w", err)
+	}
+	col := map[string]int{}
+	for i, h := range header {
+		col[strings.ToLower(strings.TrimSpace(h))] = i
+	}
+	find := func(names ...string) (int, bool) {
+		for _, n := range names {
+			if i, ok := col[n]; ok {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+
+	stmtIdx, ok := find("statement", "stmt", "sql")
+	if !ok {
+		return nil, fmt.Errorf("logmodel: CSV header lacks a statement column (statement/stmt/sql)")
+	}
+	timeIdx, hasTime := find("thetime", "time", "timestamp")
+	yyIdx, hasSplit := find("yy")
+	var mmIdx, ddIdx, hhIdx, miIdx, ssIdx int
+	if hasSplit {
+		for _, f := range []struct {
+			name string
+			dst  *int
+		}{{"mm", &mmIdx}, {"dd", &ddIdx}, {"hh", &hhIdx}, {"mi", &miIdx}, {"ss", &ssIdx}} {
+			i, ok := find(f.name)
+			if !ok {
+				hasSplit = false
+				break
+			}
+			*f.dst = i
+		}
+	}
+	if !hasTime && !hasSplit {
+		return nil, fmt.Errorf("logmodel: CSV header lacks a timestamp (theTime or yy/mm/dd/hh/mi/ss)")
+	}
+	userIdx, hasUser := find("clientip", "requestor", "user")
+	sessIdx, hasSess := find("seq", "logid", "session")
+	rowsIdx, hasRows := find("rows")
+
+	var out Log
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("logmodel: CSV line %d: %w", line, err)
+		}
+		get := func(i int) string {
+			if i < len(rec) {
+				return strings.TrimSpace(rec[i])
+			}
+			return ""
+		}
+		var ts time.Time
+		if hasTime {
+			ts, err = parseSkyTime(get(timeIdx))
+			if err != nil {
+				return nil, fmt.Errorf("logmodel: CSV line %d: %v", line, err)
+			}
+		} else {
+			ts, err = assembleSplitTime(get(yyIdx), get(mmIdx), get(ddIdx), get(hhIdx), get(miIdx), get(ssIdx))
+			if err != nil {
+				return nil, fmt.Errorf("logmodel: CSV line %d: %v", line, err)
+			}
+		}
+		e := Entry{
+			Seq:       int64(len(out)),
+			Time:      ts,
+			Rows:      -1,
+			Statement: get(stmtIdx),
+		}
+		if hasUser {
+			e.User = get(userIdx)
+		}
+		if hasSess {
+			e.Session = get(sessIdx)
+		}
+		if hasRows {
+			if v, err := strconv.ParseInt(get(rowsIdx), 10, 64); err == nil {
+				e.Rows = v
+			}
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+var skyTimeLayouts = []string{
+	"2006-01-02 15:04:05.000",
+	"2006-01-02 15:04:05",
+	"2006-01-02T15:04:05.000",
+	"2006-01-02T15:04:05",
+	"1/2/2006 3:04:05 PM",
+}
+
+func parseSkyTime(s string) (time.Time, error) {
+	for _, layout := range skyTimeLayouts {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("unrecognized timestamp %q", s)
+}
+
+func assembleSplitTime(yy, mm, dd, hh, mi, ss string) (time.Time, error) {
+	var parts [6]int
+	for i, s := range []string{yy, mm, dd, hh, mi, ss} {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return time.Time{}, fmt.Errorf("bad time component %q", s)
+		}
+		parts[i] = v
+	}
+	return time.Date(parts[0], time.Month(parts[1]), parts[2], parts[3], parts[4], parts[5], 0, time.UTC), nil
+}

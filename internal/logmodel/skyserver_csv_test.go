@@ -1,0 +1,93 @@
+package logmodel
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReadSkyServerCSVTheTime(t *testing.T) {
+	in := strings.Join([]string{
+		`theTime,clientIP,seq,rows,statement`,
+		`2007-06-13 12:18:46,10.1.2.3,77,12,"SELECT name, type FROM DBObjects WHERE type='U'"`,
+		`2007-06-13 12:19:13.250,10.1.2.3,78,1,SELECT description FROM DBObjects WHERE name='Galaxy'`,
+	}, "\n")
+	l, err := ReadSkyServerCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) != 2 {
+		t.Fatalf("entries: %d", len(l))
+	}
+	if l[0].User != "10.1.2.3" || l[0].Session != "77" || l[0].Rows != 12 {
+		t.Errorf("entry: %+v", l[0])
+	}
+	if !strings.HasPrefix(l[0].Statement, "SELECT name, type") {
+		t.Errorf("statement: %q", l[0].Statement)
+	}
+	want := time.Date(2007, 6, 13, 12, 18, 46, 0, time.UTC)
+	if !l[0].Time.Equal(want) {
+		t.Errorf("time: %v", l[0].Time)
+	}
+	if l[1].Seq != 1 {
+		t.Errorf("seq: %d", l[1].Seq)
+	}
+}
+
+func TestReadSkyServerCSVSplitTime(t *testing.T) {
+	in := strings.Join([]string{
+		`yy,mm,dd,hh,mi,ss,clientIP,statement`,
+		`2003,6,1,8,30,15,10.0.0.1,SELECT 1`,
+	}, "\n")
+	l, err := ReadSkyServerCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Date(2003, 6, 1, 8, 30, 15, 0, time.UTC)
+	if !l[0].Time.Equal(want) {
+		t.Errorf("time: %v", l[0].Time)
+	}
+	if l[0].Rows != -1 {
+		t.Errorf("missing rows column must yield -1, got %d", l[0].Rows)
+	}
+}
+
+func TestReadSkyServerCSVIgnoresExtraColumns(t *testing.T) {
+	in := strings.Join([]string{
+		`theTime,server,dbname,access,elapsed,busy,clientIP,statement,error`,
+		`2003-06-01 00:00:00,srv1,BestDR1,web,0.1,0.05,10.0.0.1,SELECT 2,0`,
+	}, "\n")
+	l, err := ReadSkyServerCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l[0].Statement != "SELECT 2" || l[0].User != "10.0.0.1" {
+		t.Errorf("entry: %+v", l[0])
+	}
+}
+
+func TestReadSkyServerCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"no statement": "theTime,clientIP\n2003-06-01 00:00:00,10.0.0.1\n",
+		"no timestamp": "clientIP,statement\n10.0.0.1,SELECT 1\n",
+		"bad time":     "theTime,statement\nnot-a-time,SELECT 1\n",
+		"bad split":    "yy,mm,dd,hh,mi,ss,statement\n2003,x,1,0,0,0,SELECT 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadSkyServerCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestReadSkyServerCSVQuotedStatement(t *testing.T) {
+	in := "theTime,statement\n" +
+		`2003-06-01 00:00:00,"SELECT a, b FROM t WHERE s = 'x,y'"` + "\n"
+	l, err := ReadSkyServerCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l[0].Statement != "SELECT a, b FROM t WHERE s = 'x,y'" {
+		t.Errorf("statement: %q", l[0].Statement)
+	}
+}

@@ -1,0 +1,102 @@
+package overlap
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The paper observes that the overlap distance "very often yields 0 (queries
+// are identical) and 1 (queries do not have any overlap)" (§6.9): real logs
+// repeat a few thousand distinct access regions millions of times. The fast
+// clustering path exploits that: identical boxes are grouped by a canonical
+// signature first, leader clustering runs over the (few) distinct boxes
+// only, and every member inherits its representative's cluster. The result
+// is identical to ClusterBoxes for every threshold, because a box is always
+// at distance 0 from an identical box and the leader algorithm assigns each
+// distinct box deterministically.
+
+// signature canonically encodes a box: sorted tables, then sorted dims.
+func signature(b Box) string {
+	var sb strings.Builder
+	tables := make([]string, 0, len(b.Tables))
+	for t := range b.Tables {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	for _, t := range tables {
+		sb.WriteString(t)
+		sb.WriteByte(',')
+	}
+	sb.WriteByte('|')
+	cols := make([]string, 0, len(b.Dims))
+	for c := range b.Dims {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	for _, c := range cols {
+		d := b.Dims[c]
+		sb.WriteString(c)
+		sb.WriteByte('=')
+		if d.Set != nil {
+			vals := make([]string, 0, len(d.Set))
+			for v := range d.Set {
+				vals = append(vals, v)
+			}
+			sort.Strings(vals)
+			sb.WriteString(strings.Join(vals, "\x02"))
+		} else {
+			sb.WriteString(strconv.FormatFloat(d.Interval.Lo, 'g', -1, 64))
+			sb.WriteByte(':')
+			sb.WriteString(strconv.FormatFloat(d.Interval.Hi, 'g', -1, 64))
+		}
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// ClusterBoxesFast is ClusterBoxes with identical-box deduplication: it
+// produces exactly the same clustering (same leaders, same membership) in
+// O(n + d·k) instead of O(n·k), where d is the number of distinct boxes.
+func ClusterBoxesFast(boxes []Box, threshold float64) []Cluster {
+	if threshold <= 0 {
+		// With a non-positive threshold even identical boxes (distance 0)
+		// do not merge, so deduplication would change the result.
+		return ClusterBoxes(boxes, threshold)
+	}
+	// Group indices by box signature, keeping first-occurrence order.
+	bySig := map[string]int{} // signature -> distinct index
+	var distinct []Box
+	var members [][]int
+	for i, b := range boxes {
+		sig := signature(b)
+		di, ok := bySig[sig]
+		if !ok {
+			di = len(distinct)
+			bySig[sig] = di
+			distinct = append(distinct, b)
+			members = append(members, nil)
+		}
+		members[di] = append(members[di], i)
+	}
+
+	// Leader clustering over the distinct boxes only.
+	distinctClusters := ClusterBoxes(distinct, threshold)
+
+	// Expand back to original indices. Cluster and member order must match
+	// what ClusterBoxes would produce on the full input: clusters are
+	// founded by first occurrence, and within a cluster the original
+	// indices appear in input order.
+	out := make([]Cluster, len(distinctClusters))
+	for ci, dc := range distinctClusters {
+		var all []int
+		for _, di := range dc.Members {
+			all = append(all, members[di]...)
+		}
+		sort.Ints(all)
+		out[ci] = Cluster{Representative: all[0], Members: all}
+	}
+	// Clusters themselves ordered by their representative (first founder).
+	sort.Slice(out, func(i, j int) bool { return out[i].Representative < out[j].Representative })
+	return out
+}

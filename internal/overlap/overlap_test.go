@@ -1,0 +1,237 @@
+package overlap
+
+import (
+	"testing"
+
+	"sqlclean/internal/skeleton"
+	"sqlclean/internal/sqlparser"
+)
+
+func box(t *testing.T, q string) Box {
+	t.Helper()
+	sel, err := sqlparser.ParseSelect(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	return FromInfo(skeleton.Analyze(sel))
+}
+
+func TestIdenticalQueriesOverlapFully(t *testing.T) {
+	a := box(t, "SELECT x FROM t WHERE id = 5")
+	b := box(t, "SELECT y FROM t WHERE id = 5")
+	if got := Overlap(a, b); got != 1 {
+		t.Errorf("overlap: %v", got)
+	}
+	if Distance(a, b) != 0 {
+		t.Error("distance must be 0")
+	}
+}
+
+func TestDifferentValuesAreDisjoint(t *testing.T) {
+	a := box(t, "SELECT x FROM t WHERE id = 5")
+	b := box(t, "SELECT x FROM t WHERE id = 6")
+	if got := Overlap(a, b); got != 0 {
+		t.Errorf("overlap: %v", got)
+	}
+}
+
+func TestDifferentTablesNeverOverlap(t *testing.T) {
+	a := box(t, "SELECT x FROM t1 WHERE id = 5")
+	b := box(t, "SELECT x FROM t2 WHERE id = 5")
+	if got := Overlap(a, b); got != 0 {
+		t.Errorf("overlap: %v", got)
+	}
+}
+
+func TestRangeOverlapIsProportional(t *testing.T) {
+	a := box(t, "SELECT x FROM t WHERE r BETWEEN 0 AND 10")
+	b := box(t, "SELECT x FROM t WHERE r BETWEEN 5 AND 15")
+	got := Overlap(a, b)
+	// Intersection [5,10] = 5, union hull [0,15] = 15 → 1/3.
+	if got < 0.33 || got > 0.34 {
+		t.Errorf("overlap: %v", got)
+	}
+}
+
+func TestDisjointRangesSlidingWindows(t *testing.T) {
+	a := box(t, "SELECT count(*) FROM t WHERE h >= 0 AND h <= 99")
+	b := box(t, "SELECT count(*) FROM t WHERE h >= 100 AND h <= 199")
+	if got := Overlap(a, b); got > 0.001 {
+		t.Errorf("SWS windows must be (near) disjoint: %v", got)
+	}
+}
+
+func TestStringEqualitySets(t *testing.T) {
+	a := box(t, "SELECT x FROM t WHERE name = 'Galaxy'")
+	b := box(t, "SELECT x FROM t WHERE name = 'Galaxy'")
+	c := box(t, "SELECT x FROM t WHERE name = 'Star'")
+	if Overlap(a, b) != 1 {
+		t.Error("same string: want 1")
+	}
+	if Overlap(a, c) != 0 {
+		t.Error("different string: want 0")
+	}
+}
+
+func TestCaseInsensitiveStringValues(t *testing.T) {
+	a := box(t, "SELECT x FROM t WHERE name = 'galaxy'")
+	b := box(t, "SELECT x FROM t WHERE name = 'GALAXY'")
+	if Overlap(a, b) != 1 {
+		t.Error("string comparison must be case-insensitive")
+	}
+}
+
+func TestInListOverlap(t *testing.T) {
+	a := box(t, "SELECT x FROM t WHERE id IN (1, 2, 3)")
+	b := box(t, "SELECT x FROM t WHERE id IN (2, 3, 4)")
+	got := Overlap(a, b)
+	// |{2,3}| / |{1,2,3,4}| = 0.5.
+	if got != 0.5 {
+		t.Errorf("overlap: %v", got)
+	}
+}
+
+func TestUnconstrainedColumnIsFullDomain(t *testing.T) {
+	a := box(t, "SELECT x FROM t WHERE id = 5 AND r BETWEEN 0 AND 10")
+	b := box(t, "SELECT x FROM t WHERE id = 5")
+	got := Overlap(a, b)
+	// Same id point; r constrained vs full domain → tiny but nonzero.
+	if got <= 0 || got >= 0.01 {
+		t.Errorf("overlap: %v", got)
+	}
+}
+
+func TestHalfOpenRanges(t *testing.T) {
+	a := box(t, "SELECT x FROM t WHERE r > 10")
+	b := box(t, "SELECT x FROM t WHERE r < 5")
+	if got := Overlap(a, b); got != 0 {
+		t.Errorf("disjoint half-open ranges: %v", got)
+	}
+	c := box(t, "SELECT x FROM t WHERE r > 10")
+	if got := Overlap(a, c); got != 1 {
+		t.Errorf("identical half-open ranges: %v", got)
+	}
+}
+
+func TestConjunctionTightensInterval(t *testing.T) {
+	a := box(t, "SELECT x FROM t WHERE h >= 10 AND h <= 20")
+	b := box(t, "SELECT x FROM t WHERE h BETWEEN 10 AND 20")
+	if got := Overlap(a, b); got != 1 {
+		t.Errorf(">=/<= pair must equal BETWEEN: %v", got)
+	}
+}
+
+func TestOverlapIsSymmetric(t *testing.T) {
+	qs := []string{
+		"SELECT x FROM t WHERE id = 5",
+		"SELECT x FROM t WHERE r BETWEEN 0 AND 10",
+		"SELECT x FROM t WHERE r BETWEEN 5 AND 15",
+		"SELECT x FROM t WHERE name = 'a'",
+		"SELECT x FROM t",
+	}
+	for i := range qs {
+		for j := range qs {
+			a, b := box(t, qs[i]), box(t, qs[j])
+			if Overlap(a, b) != Overlap(b, a) {
+				t.Errorf("asymmetric for %q vs %q", qs[i], qs[j])
+			}
+		}
+	}
+}
+
+func TestOverlapBounded(t *testing.T) {
+	qs := []string{
+		"SELECT x FROM t WHERE id = 5",
+		"SELECT x FROM t WHERE id IN (1,2)",
+		"SELECT x FROM t WHERE r > 3",
+		"SELECT x FROM t",
+		"SELECT x FROM t WHERE name = 'v' AND r BETWEEN 1 AND 2",
+	}
+	for i := range qs {
+		for j := range qs {
+			v := Overlap(box(t, qs[i]), box(t, qs[j]))
+			if v < 0 || v > 1 {
+				t.Errorf("overlap out of range: %v", v)
+			}
+		}
+	}
+}
+
+func TestClusterBoxesLeader(t *testing.T) {
+	boxes := []Box{
+		box(t, "SELECT x FROM t WHERE id = 1"),
+		box(t, "SELECT y FROM t WHERE id = 1"), // same region
+		box(t, "SELECT x FROM t WHERE id = 2"), // new region
+		box(t, "SELECT x FROM t WHERE id = 1"), // back to first
+	}
+	clusters := ClusterBoxes(boxes, 0.5)
+	if len(clusters) != 2 {
+		t.Fatalf("clusters: %+v", clusters)
+	}
+	if len(clusters[0].Members) != 3 || len(clusters[1].Members) != 1 {
+		t.Errorf("membership: %+v", clusters)
+	}
+	if clusters[0].Representative != 0 {
+		t.Errorf("leader: %+v", clusters[0])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	clusters := []Cluster{
+		{Members: []int{0, 1, 2}},
+		{Members: []int{3}},
+		{Members: []int{4, 5}},
+	}
+	st := Summarize(clusters)
+	if st.Count != 3 || st.AvgSize != 2 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.Sizes[0] != 3 || st.Sizes[1] != 2 || st.Sizes[2] != 1 {
+		t.Errorf("sizes not descending: %v", st.Sizes)
+	}
+	empty := Summarize(nil)
+	if empty.Count != 0 || empty.AvgSize != 0 {
+		t.Errorf("empty: %+v", empty)
+	}
+}
+
+func TestClusterEmptyInput(t *testing.T) {
+	if got := ClusterBoxes(nil, 0.5); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestCombineDimsConjunction(t *testing.T) {
+	// Two numeric constraints on one column intersect.
+	a := box(t, "SELECT x FROM t WHERE h >= 10 AND h >= 20")
+	b := box(t, "SELECT x FROM t WHERE h >= 20")
+	if Overlap(a, b) != 1 {
+		t.Error("tighter bound must win in a conjunction")
+	}
+	// Two string sets intersect.
+	c := box(t, "SELECT x FROM t WHERE name = 'a' AND name = 'a'")
+	d := box(t, "SELECT x FROM t WHERE name = 'a'")
+	if Overlap(c, d) != 1 {
+		t.Error("repeated string equality must intersect to itself")
+	}
+}
+
+func TestComplexPredicatesIgnored(t *testing.T) {
+	// OR trees contribute no box constraint: the query may touch anything
+	// in the table, so it overlaps fully with an unconstrained query.
+	a := box(t, "SELECT x FROM t WHERE a = 1 OR b = 2")
+	b := box(t, "SELECT x FROM t")
+	if Overlap(a, b) != 1 {
+		t.Errorf("complex-only constraints: %v", Overlap(a, b))
+	}
+}
+
+func TestMixedSetAndInterval(t *testing.T) {
+	a := box(t, "SELECT x FROM t WHERE name = 'a'")
+	b := box(t, "SELECT x FROM t WHERE name LIKE 'a%'") // LIKE → no box dim? LIKE extracts no Dim
+	// b has no 'name' constraint, so the comparison is set vs full domain.
+	got := Overlap(a, b)
+	if got != 0 {
+		t.Errorf("set vs full-domain: %v", got)
+	}
+}

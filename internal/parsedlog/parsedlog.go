@@ -1,0 +1,126 @@
+// Package parsedlog is the "Parsed Query Log" stage of the paper's Fig. 1:
+// every log entry annotated with its statement class and, for SELECT
+// statements, the skeleton/template summary from package skeleton. Identical
+// statement texts share one parse result, which matters a lot on real logs
+// where a handful of templates cover millions of entries.
+package parsedlog
+
+import (
+	"sqlclean/internal/logmodel"
+	"sqlclean/internal/skeleton"
+	"sqlclean/internal/sqlast"
+	"sqlclean/internal/sqlparser"
+)
+
+// Entry is one log entry plus its parse result.
+type Entry struct {
+	logmodel.Entry
+	Class sqlast.StatementClass
+	// Info is the skeleton summary; nil unless Class is ClassSelect. It is
+	// shared between entries with identical statement text — treat it as
+	// immutable and clone the AST before rewriting.
+	Info *skeleton.Info
+	// Err is the parse error for ClassError entries.
+	Err error
+}
+
+// Log is a parsed query log.
+type Log []Entry
+
+// Stats counts entries per statement class.
+type Stats struct {
+	Selects int
+	DML     int
+	DDL     int
+	Exec    int
+	Errors  int
+}
+
+// Total returns the number of classified entries.
+func (s Stats) Total() int { return s.Selects + s.DML + s.DDL + s.Exec + s.Errors }
+
+type cached struct {
+	class sqlast.StatementClass
+	info  *skeleton.Info
+	err   error
+}
+
+// Parser parses log entries with a statement-text cache.
+type Parser struct {
+	cache map[string]cached
+}
+
+// NewParser returns a Parser with an empty cache.
+func NewParser() *Parser { return &Parser{cache: map[string]cached{}} }
+
+// ParseEntry parses one log entry.
+func (p *Parser) ParseEntry(e logmodel.Entry) Entry {
+	c, ok := p.cache[e.Statement]
+	if !ok {
+		c = parseOne(e.Statement)
+		p.cache[e.Statement] = c
+	}
+	return Entry{Entry: e, Class: c.class, Info: c.info, Err: c.err}
+}
+
+func parseOne(stmt string) cached {
+	st, err := sqlparser.Parse(stmt)
+	if err != nil {
+		return cached{class: sqlast.ClassError, err: err}
+	}
+	switch s := st.(type) {
+	case *sqlast.SelectStatement:
+		return cached{class: sqlast.ClassSelect, info: skeleton.Analyze(s)}
+	case *sqlast.InsertStatement, *sqlast.UpdateStatement, *sqlast.DeleteStatement:
+		return cached{class: sqlast.ClassDML}
+	case *sqlast.OtherStatement:
+		return cached{class: s.Class}
+	}
+	return cached{class: sqlast.ClassError}
+}
+
+// Parse parses a whole log and returns the annotated entries plus class
+// counts.
+func Parse(l logmodel.Log) (Log, Stats) {
+	p := NewParser()
+	out := make(Log, 0, len(l))
+	var st Stats
+	for _, e := range l {
+		pe := p.ParseEntry(e)
+		out = append(out, pe)
+		switch pe.Class {
+		case sqlast.ClassSelect:
+			st.Selects++
+		case sqlast.ClassDML:
+			st.DML++
+		case sqlast.ClassDDL:
+			st.DDL++
+		case sqlast.ClassExec:
+			st.Exec++
+		default:
+			st.Errors++
+		}
+	}
+	return out, st
+}
+
+// Selects returns a new log (and parallel logmodel.Log) containing only the
+// successfully parsed SELECT entries, preserving order.
+func (l Log) Selects() Log {
+	out := make(Log, 0, len(l))
+	for _, e := range l {
+		if e.Class == sqlast.ClassSelect {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Raw converts back to a plain logmodel.Log.
+func (l Log) Raw() logmodel.Log {
+	out := make(logmodel.Log, len(l))
+	for i, e := range l {
+		out[i] = e.Entry
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+// Package pattern mines query templates and patterns from a parsed query
+// log: template occurrence statistics (frequency and userPopularity,
+// Definitions 9–10), multi-template sequence patterns, and the
+// sliding-window-search (SWS) classification of §6.5.
+package pattern
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"sqlclean/internal/parsedlog"
+	"sqlclean/internal/session"
+	"sqlclean/internal/sqlast"
+)
+
+// TemplateStats aggregates all occurrences of one query template
+// (Definition 4: the triple of clause skeletons).
+type TemplateStats struct {
+	Fingerprint uint64
+	// Skeleton is the full skeleton-query text (all clauses, masked).
+	Skeleton      string
+	SFC, SWC, SSC string
+	// Frequency is the occurrence count (Definition 9 at template
+	// granularity: every occurrence is an instance of the length-1
+	// pattern).
+	Frequency int
+	// UserPopularity is the number of distinct users (IPs) that issued the
+	// template (Definition 10).
+	UserPopularity int
+	// DistinctWhere is the number of distinct concrete WHERE clauses among
+	// the occurrences. DistinctWhere close to Frequency means the
+	// occurrences sweep disjoint filter values — the SWS signature.
+	DistinctWhere int
+	// Example is one concrete statement text.
+	Example string
+}
+
+// DisjointRatio is DistinctWhere / Frequency; 1.0 means every occurrence
+// filtered a different region.
+func (t TemplateStats) DisjointRatio() float64 {
+	if t.Frequency == 0 {
+		return 0
+	}
+	return float64(t.DistinctWhere) / float64(t.Frequency)
+}
+
+// Templates computes per-template statistics over the SELECT entries of a
+// parsed log, sorted by descending frequency (ties broken by skeleton text
+// for determinism).
+func Templates(pl parsedlog.Log) []TemplateStats {
+	type agg struct {
+		stats TemplateStats
+		users map[string]struct{}
+		wcs   map[uint64]struct{}
+	}
+	byFP := map[uint64]*agg{}
+	var order []uint64
+	for _, e := range pl {
+		if e.Class != sqlast.ClassSelect || e.Info == nil {
+			continue
+		}
+		fp := e.Info.Fingerprint
+		a, ok := byFP[fp]
+		if !ok {
+			a = &agg{
+				stats: TemplateStats{
+					Fingerprint: fp,
+					Skeleton:    e.Info.SkeletonText(),
+					SFC:         e.Info.SFC,
+					SWC:         e.Info.SWC,
+					SSC:         e.Info.SSC,
+					Example:     e.Statement,
+				},
+				users: map[string]struct{}{},
+				wcs:   map[uint64]struct{}{},
+			}
+			byFP[fp] = a
+			order = append(order, fp)
+		}
+		a.stats.Frequency++
+		a.users[e.User] = struct{}{}
+		a.wcs[hashStr(e.Info.WC)] = struct{}{}
+	}
+	out := make([]TemplateStats, 0, len(order))
+	for _, fp := range order {
+		a := byFP[fp]
+		a.stats.UserPopularity = len(a.users)
+		a.stats.DistinctWhere = len(a.wcs)
+		out = append(out, a.stats)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Frequency != out[j].Frequency {
+			return out[i].Frequency > out[j].Frequency
+		}
+		return out[i].Skeleton < out[j].Skeleton
+	})
+	return out
+}
+
+func hashStr(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// ---------------------------------------------------------------------------
+// Multi-template sequence patterns
+// ---------------------------------------------------------------------------
+
+// SeqPattern is a pattern of several templates (Definition 7) identified by
+// its collapsed signature: the sequence of template fingerprints with
+// consecutive repeats collapsed, so that runs of different lengths of the
+// same shape count as the same pattern.
+type SeqPattern struct {
+	Signature []uint64
+	// Skeletons holds the skeleton text for each signature element.
+	Skeletons []string
+	// Frequency is the number of instances (maximal matching runs).
+	Frequency int
+	// Queries is the total number of log entries covered by all instances.
+	Queries int
+	// UserPopularity is the number of distinct users with at least one
+	// instance.
+	UserPopularity int
+}
+
+func sigKey(sig []uint64) string {
+	var b []byte
+	for i, fp := range sig {
+		if i > 0 {
+			b = append(b, '|')
+		}
+		b = strconv.AppendUint(b, fp, 16)
+	}
+	return string(b)
+}
+
+// Sequences mines collapsed-signature patterns of length 2..maxLen from the
+// sessions of a parsed log. Within each session the template stream is
+// collapsed (consecutive repeats merged) and every window of length 2..maxLen
+// over the collapsed stream counts as one instance of the corresponding
+// pattern. Results are sorted by descending frequency.
+func Sequences(pl parsedlog.Log, sessions []session.Session, maxLen int) []SeqPattern {
+	if maxLen < 2 {
+		maxLen = 2
+	}
+	type agg struct {
+		p     SeqPattern
+		users map[string]struct{}
+	}
+	byKey := map[string]*agg{}
+	var order []string
+
+	for _, sess := range sessions {
+		// Collapse the session's template stream.
+		type block struct {
+			fp    uint64
+			skel  string
+			count int
+		}
+		var blocks []block
+		for _, idx := range sess.Indices {
+			e := pl[idx]
+			if e.Class != sqlast.ClassSelect || e.Info == nil {
+				// Non-select entries break the stream.
+				blocks = append(blocks, block{fp: 0})
+				continue
+			}
+			fp := e.Info.Fingerprint
+			if n := len(blocks); n > 0 && blocks[n-1].fp == fp {
+				blocks[n-1].count++
+				continue
+			}
+			blocks = append(blocks, block{fp: fp, skel: e.Info.SkeletonText(), count: 1})
+		}
+		for winLen := 2; winLen <= maxLen; winLen++ {
+			for i := 0; i+winLen <= len(blocks); i++ {
+				ok := true
+				queries := 0
+				sig := make([]uint64, 0, winLen)
+				skels := make([]string, 0, winLen)
+				for _, b := range blocks[i : i+winLen] {
+					if b.fp == 0 {
+						ok = false
+						break
+					}
+					sig = append(sig, b.fp)
+					skels = append(skels, b.skel)
+					queries += b.count
+				}
+				if !ok {
+					continue
+				}
+				k := sigKey(sig)
+				a, seen := byKey[k]
+				if !seen {
+					a = &agg{p: SeqPattern{Signature: sig, Skeletons: skels}, users: map[string]struct{}{}}
+					byKey[k] = a
+					order = append(order, k)
+				}
+				a.p.Frequency++
+				a.p.Queries += queries
+				a.users[sess.User] = struct{}{}
+			}
+		}
+	}
+
+	out := make([]SeqPattern, 0, len(order))
+	for _, k := range order {
+		a := byKey[k]
+		a.p.UserPopularity = len(a.users)
+		out = append(out, a.p)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Frequency != out[j].Frequency {
+			return out[i].Frequency > out[j].Frequency
+		}
+		return sigKey(out[i].Signature) < sigKey(out[j].Signature)
+	})
+	return out
+}

@@ -1,0 +1,96 @@
+package pattern
+
+// SWS (sliding-window-search) classification, §6.5 of the paper: frequent
+// patterns with very low user popularity whose instances sweep disjoint
+// regions of the data space are "machine downloads" — bots copying the
+// database piece-wise. They are not antipatterns (no performance harm) but
+// they are noise for user-interest analyses, so the framework can label and
+// optionally exclude them.
+
+// SWSOptions are the two thresholds of the paper's Table 8 plus the
+// disjointness requirement.
+type SWSOptions struct {
+	// FrequencyPct classifies only templates whose frequency is at least
+	// this percentage of the total SELECT count (Table 8 columns: 10, 1,
+	// 0.1, 0.01).
+	FrequencyPct float64
+	// MaxUserPopularity classifies only templates issued by at most this
+	// many users (Table 8 rows: 1, 2, 4, 8, 16).
+	MaxUserPopularity int
+	// MinDisjointRatio requires the share of distinct WHERE clauses among
+	// the occurrences to be at least this value — the "disjoint filtering
+	// conditions" property. Zero disables the check.
+	MinDisjointRatio float64
+}
+
+// DefaultSWSOptions match the paper's headline setting: 1 % frequency,
+// popularity ≤ 2, mostly-disjoint filters.
+func DefaultSWSOptions() SWSOptions {
+	return SWSOptions{FrequencyPct: 1, MaxUserPopularity: 2, MinDisjointRatio: 0.5}
+}
+
+// IsSWS reports whether one template qualifies as SWS under the options,
+// given the total number of SELECT statements in the log.
+func IsSWS(t TemplateStats, totalSelects int, opt SWSOptions) bool {
+	if totalSelects == 0 || t.Frequency == 0 {
+		return false
+	}
+	// A template issued without user information cannot be attributed, so
+	// popularity filtering is impossible (paper §6.8); treat popularity 1
+	// with empty users the same as any other.
+	freqPct := 100 * float64(t.Frequency) / float64(totalSelects)
+	if freqPct < opt.FrequencyPct {
+		return false
+	}
+	if t.UserPopularity > opt.MaxUserPopularity {
+		return false
+	}
+	if opt.MinDisjointRatio > 0 && t.DisjointRatio() < opt.MinDisjointRatio {
+		return false
+	}
+	// A sliding window search needs more than one window.
+	return t.Frequency >= 2
+}
+
+// ClassifySWS returns the fingerprints of all SWS templates.
+func ClassifySWS(templates []TemplateStats, totalSelects int, opt SWSOptions) map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, t := range templates {
+		if IsSWS(t, totalSelects, opt) {
+			out[t.Fingerprint] = true
+		}
+	}
+	return out
+}
+
+// SWSCoverage returns the fraction (0..1) of the log's SELECT statements
+// covered by SWS templates under the options — one cell of Table 8.
+func SWSCoverage(templates []TemplateStats, totalSelects int, opt SWSOptions) float64 {
+	if totalSelects == 0 {
+		return 0
+	}
+	covered := 0
+	for _, t := range templates {
+		if IsSWS(t, totalSelects, opt) {
+			covered += t.Frequency
+		}
+	}
+	return float64(covered) / float64(totalSelects)
+}
+
+// SWSSweep evaluates SWSCoverage over a grid of thresholds and returns a
+// matrix indexed [popularity][frequency], reproducing Table 8.
+func SWSSweep(templates []TemplateStats, totalSelects int, freqPcts []float64, popularities []int, minDisjoint float64) [][]float64 {
+	out := make([][]float64, len(popularities))
+	for i, pop := range popularities {
+		out[i] = make([]float64, len(freqPcts))
+		for j, f := range freqPcts {
+			out[i][j] = SWSCoverage(templates, totalSelects, SWSOptions{
+				FrequencyPct:      f,
+				MaxUserPopularity: pop,
+				MinDisjointRatio:  minDisjoint,
+			})
+		}
+	}
+	return out
+}

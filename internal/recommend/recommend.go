@@ -1,0 +1,171 @@
+// Package recommend implements the query-recommendation study the paper
+// outlines as future work (§7): a next-query recommender trained on a query
+// log, used to quantify how antipatterns in the training log contaminate
+// the recommendations. The model is a first-order Markov chain over query
+// templates — per session, each consecutive template pair (A → B) is one
+// training observation — which is the simplest member of the
+// session-based recommender family of QueRIE [6].
+package recommend
+
+import (
+	"sort"
+
+	"sqlclean/internal/parsedlog"
+	"sqlclean/internal/session"
+	"sqlclean/internal/sqlast"
+)
+
+// Suggestion is one recommended next query template.
+type Suggestion struct {
+	Fingerprint uint64
+	// Skeleton is the template's skeleton text.
+	Skeleton string
+	// Example is a concrete statement instantiating the template.
+	Example string
+	// Score is the conditional probability P(next = this | current).
+	Score float64
+}
+
+// Model is a trained next-template recommender.
+type Model struct {
+	// transitions[from][to] counts observed template bigrams.
+	transitions map[uint64]map[uint64]int
+	// fromTotals[from] is the row sum of transitions[from].
+	fromTotals map[uint64]int
+	skeletons  map[uint64]string
+	examples   map[uint64]string
+}
+
+// Train builds a model from the sessions of a parsed log. Non-SELECT
+// entries break the bigram chain.
+func Train(pl parsedlog.Log, sessions []session.Session) *Model {
+	m := &Model{
+		transitions: map[uint64]map[uint64]int{},
+		fromTotals:  map[uint64]int{},
+		skeletons:   map[uint64]string{},
+		examples:    map[uint64]string{},
+	}
+	for _, sess := range sessions {
+		var prev uint64
+		havePrev := false
+		for _, idx := range sess.Indices {
+			e := pl[idx]
+			if e.Class != sqlast.ClassSelect || e.Info == nil {
+				havePrev = false
+				continue
+			}
+			fp := e.Info.Fingerprint
+			if _, ok := m.skeletons[fp]; !ok {
+				m.skeletons[fp] = e.Info.SkeletonText()
+				m.examples[fp] = e.Statement
+			}
+			if havePrev {
+				row, ok := m.transitions[prev]
+				if !ok {
+					row = map[uint64]int{}
+					m.transitions[prev] = row
+				}
+				row[fp]++
+				m.fromTotals[prev]++
+			}
+			prev = fp
+			havePrev = true
+		}
+	}
+	return m
+}
+
+// States returns the number of templates with at least one outgoing
+// transition.
+func (m *Model) States() int { return len(m.transitions) }
+
+// Observations returns the total number of training bigrams.
+func (m *Model) Observations() int {
+	n := 0
+	for _, t := range m.fromTotals {
+		n += t
+	}
+	return n
+}
+
+// Skeleton returns the skeleton text of a known template.
+func (m *Model) Skeleton(fp uint64) (string, bool) {
+	s, ok := m.skeletons[fp]
+	return s, ok
+}
+
+// Recommend returns the top-k next templates after current, most probable
+// first (ties broken by skeleton text for determinism). Unknown states
+// yield nil.
+func (m *Model) Recommend(current uint64, k int) []Suggestion {
+	row, ok := m.transitions[current]
+	if !ok || m.fromTotals[current] == 0 {
+		return nil
+	}
+	total := float64(m.fromTotals[current])
+	out := make([]Suggestion, 0, len(row))
+	for fp, n := range row {
+		out = append(out, Suggestion{
+			Fingerprint: fp,
+			Skeleton:    m.skeletons[fp],
+			Example:     m.examples[fp],
+			Score:       float64(n) / total,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Skeleton < out[j].Skeleton
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// ContaminationReport quantifies how much of the model's recommendation
+// mass lands on antipattern templates.
+type ContaminationReport struct {
+	// States is the number of predictable states.
+	States int
+	// Top1Antipattern is the share of states (weighted by how often the
+	// state occurs as a predecessor) whose top-1 recommendation is an
+	// antipattern template.
+	Top1Antipattern float64
+	// MassAntipattern is the share of total transition probability mass
+	// (weighted the same way) pointing at antipattern templates.
+	MassAntipattern float64
+}
+
+// Contamination evaluates the model against a set of antipattern template
+// fingerprints (e.g. core.Result.AntipatternTemplates of the training log's
+// pipeline run).
+func (m *Model) Contamination(anti map[uint64]bool) ContaminationReport {
+	rep := ContaminationReport{States: len(m.transitions)}
+	totalWeight := 0.0
+	top1 := 0.0
+	mass := 0.0
+	for from, row := range m.transitions {
+		weight := float64(m.fromTotals[from])
+		totalWeight += weight
+		best := Suggestion{}
+		for fp, n := range row {
+			p := float64(n) / float64(m.fromTotals[from])
+			if anti[fp] {
+				mass += weight * p
+			}
+			if p > best.Score || (p == best.Score && m.skeletons[fp] < best.Skeleton) {
+				best = Suggestion{Fingerprint: fp, Skeleton: m.skeletons[fp], Score: p}
+			}
+		}
+		if anti[best.Fingerprint] {
+			top1 += weight
+		}
+	}
+	if totalWeight > 0 {
+		rep.Top1Antipattern = top1 / totalWeight
+		rep.MassAntipattern = mass / totalWeight
+	}
+	return rep
+}

@@ -1,0 +1,143 @@
+package recommend
+
+import (
+	"testing"
+	"time"
+
+	"sqlclean/internal/core"
+	"sqlclean/internal/logmodel"
+	"sqlclean/internal/parsedlog"
+	"sqlclean/internal/session"
+	"sqlclean/internal/workload"
+)
+
+func trainOn(t *testing.T, stmts ...string) (*Model, parsedlog.Log) {
+	t.Helper()
+	base := time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC)
+	var l logmodel.Log
+	for i, s := range stmts {
+		l = append(l, logmodel.Entry{Seq: int64(i), Time: base.Add(time.Duration(i) * time.Second), User: "u", Statement: s})
+	}
+	pl, _ := parsedlog.Parse(l)
+	sessions := session.Build(l, session.Options{})
+	return Train(pl, sessions), pl
+}
+
+func TestTrainAndRecommend(t *testing.T) {
+	m, pl := trainOn(t,
+		"SELECT a FROM t WHERE id = 1", // A
+		"SELECT b FROM u WHERE k = 1",  // B
+		"SELECT a FROM t WHERE id = 2", // A
+		"SELECT b FROM u WHERE k = 2",  // B
+		"SELECT a FROM t WHERE id = 3", // A
+		"SELECT c FROM v WHERE m = 1",  // C
+	)
+	if m.States() != 2 { // A and B have successors
+		t.Fatalf("states: %d", m.States())
+	}
+	if m.Observations() != 5 {
+		t.Fatalf("observations: %d", m.Observations())
+	}
+	fpA := pl[0].Info.Fingerprint
+	recs := m.Recommend(fpA, 5)
+	if len(recs) != 2 {
+		t.Fatalf("recs: %+v", recs)
+	}
+	// A → B twice, A → C once.
+	if recs[0].Skeleton != pl[1].Info.SkeletonText() || recs[0].Score < 0.66 {
+		t.Errorf("top rec: %+v", recs[0])
+	}
+	if recs[1].Score > recs[0].Score {
+		t.Error("not sorted by score")
+	}
+	// Top-k truncation.
+	if got := m.Recommend(fpA, 1); len(got) != 1 {
+		t.Errorf("k=1: %+v", got)
+	}
+	// Unknown state.
+	if got := m.Recommend(0xdead, 3); got != nil {
+		t.Errorf("unknown state: %+v", got)
+	}
+}
+
+func TestNonSelectBreaksChain(t *testing.T) {
+	m, _ := trainOn(t,
+		"SELECT a FROM t WHERE id = 1",
+		"INSERT INTO t VALUES (1)",
+		"SELECT b FROM u WHERE k = 1",
+	)
+	if m.Observations() != 0 {
+		t.Fatalf("observations across a non-select: %d", m.Observations())
+	}
+}
+
+func TestSessionsDoNotBleed(t *testing.T) {
+	base := time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC)
+	l := logmodel.Log{
+		{Seq: 0, Time: base, User: "u1", Statement: "SELECT a FROM t WHERE id = 1"},
+		{Seq: 1, Time: base.Add(time.Second), User: "u2", Statement: "SELECT b FROM u WHERE k = 1"},
+	}
+	pl, _ := parsedlog.Parse(l)
+	sessions := session.Build(l, session.Options{})
+	m := Train(pl, sessions)
+	if m.Observations() != 0 {
+		t.Fatalf("bigram crossed users: %d", m.Observations())
+	}
+}
+
+func TestContamination(t *testing.T) {
+	m, pl := trainOn(t,
+		"SELECT a FROM t WHERE id = 1", // A
+		"SELECT b FROM u WHERE k = 1",  // B (we'll mark B as antipattern)
+		"SELECT a FROM t WHERE id = 2", // A
+		"SELECT b FROM u WHERE k = 2",  // B
+	)
+	anti := map[uint64]bool{pl[1].Info.Fingerprint: true}
+	rep := m.Contamination(anti)
+	// A → B always; B → A always. Weighted: A occurs twice as predecessor,
+	// B once. Top-1 from A is B (anti), from B is A (clean):
+	// top1 = 2/3, mass = 2/3.
+	if rep.Top1Antipattern < 0.66 || rep.Top1Antipattern > 0.67 {
+		t.Errorf("top1: %v", rep.Top1Antipattern)
+	}
+	if rep.MassAntipattern < 0.66 || rep.MassAntipattern > 0.67 {
+		t.Errorf("mass: %v", rep.MassAntipattern)
+	}
+	empty := m.Contamination(nil)
+	if empty.Top1Antipattern != 0 || empty.MassAntipattern != 0 {
+		t.Errorf("no antipatterns: %+v", empty)
+	}
+}
+
+// TestCleaningReducesContamination is the paper's §7 hypothesis: a
+// recommender trained on the cleaned log recommends far fewer antipattern
+// queries than one trained on the raw log.
+func TestCleaningReducesContamination(t *testing.T) {
+	log, _ := workload.Generate(workload.DefaultConfig().Scale(0.3))
+	res, err := core.Run(log, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anti := res.AntipatternTemplates()
+
+	rawModel := Train(res.Parsed, res.Sessions)
+	rawRep := rawModel.Contamination(anti)
+
+	cleanParsed, _ := parsedlog.Parse(res.Clean)
+	cleanSessions := session.Build(res.Clean, session.Options{MaxGap: 5 * time.Minute})
+	cleanModel := Train(cleanParsed, cleanSessions)
+	cleanRep := cleanModel.Contamination(anti)
+
+	if rawRep.MassAntipattern == 0 {
+		t.Fatal("raw log must contain antipattern transitions")
+	}
+	if cleanRep.MassAntipattern >= rawRep.MassAntipattern {
+		t.Errorf("cleaning did not reduce contamination: raw %.3f, clean %.3f",
+			rawRep.MassAntipattern, cleanRep.MassAntipattern)
+	}
+	// The reduction should be substantial (the Stifle mass is gone).
+	if cleanRep.MassAntipattern > rawRep.MassAntipattern/2 {
+		t.Errorf("reduction too small: raw %.3f, clean %.3f",
+			rawRep.MassAntipattern, cleanRep.MassAntipattern)
+	}
+}

@@ -1,0 +1,49 @@
+package rewrite
+
+import (
+	"strings"
+
+	"sqlclean/internal/antipattern"
+	"sqlclean/internal/parsedlog"
+)
+
+// PackSolver implements the Pack refactoring of the paper's §3.1.1
+// (Example 6): instead of merging an antipattern instance into one
+// equivalent query, it concatenates the member statements into a single
+// semicolon-separated batch. Packing removes the per-statement network
+// overhead but — as the paper points out — "still requires the same amount
+// of database resources": the server executes every member. It is provided
+// as the comparison baseline for the merge rewrites (see
+// BenchmarkAblationPackVsMerge); the pipeline uses the merge solvers by
+// default.
+type PackSolver struct {
+	kind antipattern.Kind
+}
+
+// NewPackSolver returns a PackSolver handling the given antipattern kind.
+func NewPackSolver(kind antipattern.Kind) *PackSolver { return &PackSolver{kind: kind} }
+
+// PackSolvers returns pack solvers for every solvable Stifle class.
+func PackSolvers() []Solver {
+	return []Solver{
+		NewPackSolver(antipattern.DWStifle),
+		NewPackSolver(antipattern.DSStifle),
+		NewPackSolver(antipattern.DFStifle),
+	}
+}
+
+// Kind implements Solver.
+func (p *PackSolver) Kind() antipattern.Kind { return p.kind }
+
+// Solve implements Solver: the batch is the member statements joined by
+// "; " in log order.
+func (p *PackSolver) Solve(pl parsedlog.Log, inst antipattern.Instance) (string, error) {
+	if len(inst.Indices) == 0 {
+		return "", errInstance(inst, "empty instance")
+	}
+	parts := make([]string, 0, len(inst.Indices))
+	for _, idx := range inst.Indices {
+		parts = append(parts, strings.TrimSuffix(strings.TrimSpace(pl[idx].Statement), ";"))
+	}
+	return strings.Join(parts, "; "), nil
+}

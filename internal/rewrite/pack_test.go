@@ -1,0 +1,73 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"sqlclean/internal/antipattern"
+	"sqlclean/internal/sqlparser"
+)
+
+func TestPackSolverJoinsStatements(t *testing.T) {
+	pl, instances := parseLog(t,
+		"SELECT name FROM Employee WHERE empId = 8",
+		"SELECT name FROM Employee WHERE empId = 1",
+	)
+	var dw antipattern.Instance
+	for _, in := range instances {
+		if in.Kind == antipattern.DWStifle {
+			dw = in
+		}
+	}
+	if dw.Kind == "" {
+		t.Fatal("no DW instance")
+	}
+	p := NewPackSolver(antipattern.DWStifle)
+	out, err := p.Solve(pl, dw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "SELECT name FROM Employee WHERE empId = 8; SELECT name FROM Employee WHERE empId = 1"
+	if out != want {
+		t.Errorf("got %q", out)
+	}
+	// The batch must split back into the original statements.
+	parts, err := sqlparser.SplitStatements(out)
+	if err != nil || len(parts) != 2 {
+		t.Errorf("split: %v %v", parts, err)
+	}
+}
+
+func TestPackSolversCoverStifleKinds(t *testing.T) {
+	kinds := map[antipattern.Kind]bool{}
+	for _, s := range PackSolvers() {
+		kinds[s.Kind()] = true
+	}
+	for _, k := range []antipattern.Kind{antipattern.DWStifle, antipattern.DSStifle, antipattern.DFStifle} {
+		if !kinds[k] {
+			t.Errorf("missing pack solver for %s", k)
+		}
+	}
+}
+
+func TestPackApplyEndToEnd(t *testing.T) {
+	pl, instances := parseLog(t,
+		"SELECT name FROM Employee WHERE empId = 8",
+		"SELECT name FROM Employee WHERE empId = 1",
+		"SELECT name FROM Employee WHERE empId = 3",
+	)
+	res := Apply(pl, instances, PackSolvers())
+	if len(res.Clean) != 1 {
+		t.Fatalf("clean: %+v", res.Clean)
+	}
+	if strings.Count(res.Clean[0].Statement, ";") != 2 {
+		t.Errorf("packed statement: %q", res.Clean[0].Statement)
+	}
+}
+
+func TestPackSolverEmptyInstance(t *testing.T) {
+	p := NewPackSolver(antipattern.DWStifle)
+	if _, err := p.Solve(nil, antipattern.Instance{Kind: antipattern.DWStifle}); err == nil {
+		t.Fatal("want error for empty instance")
+	}
+}

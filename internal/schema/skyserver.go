@@ -1,0 +1,117 @@
+package schema
+
+// SkyServer returns a catalog modeled on the subset of the SDSS SkyServer
+// schema that the paper's case study touches: the photometric object tables
+// (photoprimary, photoobjall), the spectroscopic tables (specobj,
+// specobjall), metadata tables (dbobjects) and the HR-style demo tables used
+// in the paper's running example (Employees, Orders).
+func SkyServer() *Catalog {
+	c := New()
+	photoCols := []Column{
+		{Name: "objid", Type: "int", Key: true},
+		{Name: "ra", Type: "float"},
+		{Name: "dec", Type: "float"},
+		{Name: "r", Type: "float"},
+		{Name: "g", Type: "float"},
+		{Name: "i", Type: "float"},
+		{Name: "u", Type: "float"},
+		{Name: "z", Type: "float"},
+		{Name: "rowc_g", Type: "float"},
+		{Name: "colc_g", Type: "float"},
+		{Name: "rowc_r", Type: "float"},
+		{Name: "colc_r", Type: "float"},
+		{Name: "rowc_i", Type: "float"},
+		{Name: "colc_i", Type: "float"},
+		{Name: "htmid", Type: "int"},
+		{Name: "type", Type: "int"},
+		{Name: "flags", Type: "int"},
+		{Name: "status", Type: "int"},
+	}
+	c.AddTable("photoprimary", photoCols...)
+	c.AddTable("photoobjall", photoCols...)
+	c.AddTable("galaxy", photoCols...)
+	c.AddTable("star", photoCols...)
+
+	specCols := []Column{
+		{Name: "specobjid", Type: "int", Key: true},
+		{Name: "bestobjid", Type: "int", Key: true},
+		{Name: "plate", Type: "int"},
+		{Name: "fiberid", Type: "int"},
+		{Name: "mjd", Type: "int"},
+		{Name: "z", Type: "float"},
+		{Name: "zerr", Type: "float"},
+		{Name: "class", Type: "string"},
+	}
+	c.AddTable("specobj", specCols...)
+	c.AddTable("specobjall", specCols...)
+
+	// Photometric detail and cross-match tables real logs touch.
+	c.AddTable("photoobj", photoCols...)
+	c.AddTable("specphotoall", append(append([]Column{}, specCols...),
+		Column{Name: "objid", Type: "int", Key: true},
+		Column{Name: "ra", Type: "float"},
+		Column{Name: "dec", Type: "float"},
+	)...)
+	c.AddTable("neighbors",
+		Column{Name: "objid", Type: "int", Key: true},
+		Column{Name: "neighborobjid", Type: "int", Key: true},
+		Column{Name: "distance", Type: "float"},
+		Column{Name: "type", Type: "int"},
+		Column{Name: "neighbortype", Type: "int"},
+	)
+	c.AddTable("field",
+		Column{Name: "fieldid", Type: "int", Key: true},
+		Column{Name: "run", Type: "int"},
+		Column{Name: "rerun", Type: "int"},
+		Column{Name: "camcol", Type: "int"},
+		Column{Name: "field", Type: "int"},
+		Column{Name: "ra", Type: "float"},
+		Column{Name: "dec", Type: "float"},
+	)
+	c.AddTable("platex",
+		Column{Name: "plateid", Type: "int", Key: true},
+		Column{Name: "plate", Type: "int"},
+		Column{Name: "mjd", Type: "int"},
+		Column{Name: "ra", Type: "float"},
+		Column{Name: "dec", Type: "float"},
+	)
+	c.AddTable("first",
+		Column{Name: "objid", Type: "int", Key: true},
+		Column{Name: "peak", Type: "float"},
+		Column{Name: "integr", Type: "float"},
+	)
+	c.AddTable("rosat",
+		Column{Name: "objid", Type: "int", Key: true},
+		Column{Name: "cps", Type: "float"},
+		Column{Name: "hard1", Type: "float"},
+	)
+	c.AddTable("usno",
+		Column{Name: "objid", Type: "int", Key: true},
+		Column{Name: "propermotion", Type: "float"},
+		Column{Name: "angle", Type: "float"},
+	)
+
+	c.AddTable("dbobjects",
+		Column{Name: "name", Type: "string", Key: true},
+		Column{Name: "type", Type: "string"},
+		Column{Name: "access", Type: "string"},
+		Column{Name: "description", Type: "string"},
+		Column{Name: "text", Type: "string"},
+	)
+
+	c.AddTable("employees",
+		Column{Name: "empid", Type: "int", Key: true},
+		Column{Name: "id", Type: "int", Key: true},
+		Column{Name: "name", Type: "string"},
+		Column{Name: "surname", Type: "string"},
+		Column{Name: "birthday", Type: "string"},
+		Column{Name: "phone", Type: "string"},
+		Column{Name: "department", Type: "string"},
+	)
+	c.AddTable("orders",
+		Column{Name: "orderid", Type: "int", Key: true},
+		Column{Name: "empid", Type: "int", Key: true},
+		Column{Name: "orders", Type: "int"},
+	)
+	return c
+}

@@ -1,0 +1,132 @@
+package session
+
+import (
+	"testing"
+	"time"
+
+	"sqlclean/internal/logmodel"
+)
+
+func mk(user, sess string, at time.Duration) logmodel.Entry {
+	base := time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC)
+	return logmodel.Entry{User: user, Session: sess, Time: base.Add(at), Statement: "SELECT 1"}
+}
+
+func TestGroupsByUser(t *testing.T) {
+	l := logmodel.Log{
+		mk("u1", "", 0),
+		mk("u2", "", time.Second),
+		mk("u1", "", 2*time.Second),
+	}
+	out := Build(l, Options{})
+	if len(out) != 2 {
+		t.Fatalf("sessions: %d", len(out))
+	}
+	var u1 *Session
+	for i := range out {
+		if out[i].User == "u1" {
+			u1 = &out[i]
+		}
+	}
+	if u1 == nil || len(u1.Indices) != 2 || u1.Indices[0] != 0 || u1.Indices[1] != 2 {
+		t.Fatalf("u1 session: %+v", out)
+	}
+}
+
+func TestGapSplitting(t *testing.T) {
+	l := logmodel.Log{
+		mk("u", "", 0),
+		mk("u", "", time.Minute),
+		mk("u", "", time.Hour), // big gap
+		mk("u", "", time.Hour+time.Minute),
+	}
+	out := Build(l, Options{MaxGap: 5 * time.Minute})
+	if len(out) != 2 || out[0].Len() != 2 || out[1].Len() != 2 {
+		t.Fatalf("sessions: %+v", out)
+	}
+}
+
+func TestNoGapSplittingWhenDisabled(t *testing.T) {
+	l := logmodel.Log{
+		mk("u", "", 0),
+		mk("u", "", 100*time.Hour),
+	}
+	out := Build(l, Options{})
+	if len(out) != 1 || out[0].Len() != 2 {
+		t.Fatalf("sessions: %+v", out)
+	}
+}
+
+func TestLabelSplitting(t *testing.T) {
+	l := logmodel.Log{
+		mk("u", "s1", 0),
+		mk("u", "s1", time.Second),
+		mk("u", "s2", 2*time.Second),
+	}
+	out := Build(l, Options{SplitOnLabel: true})
+	if len(out) != 2 {
+		t.Fatalf("sessions: %+v", out)
+	}
+	// Empty labels never split.
+	l = logmodel.Log{mk("u", "", 0), mk("u", "s1", time.Second), mk("u", "", 2*time.Second)}
+	out = Build(l, Options{SplitOnLabel: true})
+	if len(out) != 1 {
+		t.Fatalf("empty labels split: %+v", out)
+	}
+}
+
+func TestAnonymousLogIsOneUser(t *testing.T) {
+	l := logmodel.Log{mk("", "", 0), mk("", "", time.Second), mk("", "", 2*time.Second)}
+	out := Build(l, Options{})
+	if len(out) != 1 || out[0].Len() != 3 {
+		t.Fatalf("sessions: %+v", out)
+	}
+}
+
+func TestSessionsOrderedByFirstQuery(t *testing.T) {
+	l := logmodel.Log{
+		mk("late", "", 10*time.Second),
+		mk("early", "", 0),
+		mk("late", "", 11*time.Second),
+	}
+	out := Build(l, Options{})
+	if out[0].User != "early" || out[1].User != "late" {
+		t.Fatalf("order: %+v", out)
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	if out := Build(nil, Options{}); len(out) != 0 {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestIndicesWithinBounds(t *testing.T) {
+	var l logmodel.Log
+	for i := 0; i < 100; i++ {
+		u := "a"
+		if i%3 == 0 {
+			u = "b"
+		}
+		l = append(l, mk(u, "", time.Duration(i)*time.Second))
+	}
+	out := Build(l, Options{MaxGap: 2 * time.Second})
+	seen := map[int]bool{}
+	for _, s := range out {
+		for _, idx := range s.Indices {
+			if idx < 0 || idx >= len(l) {
+				t.Fatalf("index out of bounds: %d", idx)
+			}
+			if seen[idx] {
+				t.Fatalf("index %d in two sessions", idx)
+			}
+			seen[idx] = true
+			if l[idx].User != s.User {
+				t.Fatalf("index %d user mismatch", idx)
+			}
+		}
+	}
+	if len(seen) != len(l) {
+		t.Fatalf("covered %d of %d entries", len(seen), len(l))
+	}
+}

@@ -1,0 +1,338 @@
+// Package skeleton implements skeleton queries and query templates
+// (Definitions 2–6 of the paper): the canonical, literal-masked form of a
+// SELECT statement, split into the three clause skeletons SFC, SWC and SSC,
+// plus the predicate summary (count CP, operator θ, filter column) that the
+// antipattern definitions (Defs 11 and 15) are stated over.
+package skeleton
+
+import (
+	"hash/fnv"
+	"strings"
+
+	"sqlclean/internal/sqlast"
+)
+
+// Predicate summarizes one top-level conjunct of a WHERE clause.
+type Predicate struct {
+	// Qualifier and Column identify the filtered column (canonical
+	// lower-case). Empty Column means the conjunct is not a simple
+	// column-vs-value comparison.
+	Qualifier string
+	Column    string
+	// Op is the comparison: "=", "<>", "<", ">", "<=", ">=", "IN",
+	// "BETWEEN", "LIKE", "IS NULL", "IS NOT NULL", or "complex" for
+	// anything else (OR trees, function comparisons, ...).
+	Op string
+	// Literals holds the literal values compared against, in order.
+	Literals []sqlast.Literal
+	// OtherColumn is set when the right-hand side is another column
+	// (join-style predicate col = col).
+	OtherColumn string
+	// NullCompare is true for the SNC antipattern shape: an (in)equality
+	// comparison against the NULL literal (x = NULL, x <> NULL).
+	NullCompare bool
+}
+
+// IsEquality reports whether θ is '=' (Defs 11 and 15 require equality).
+func (p Predicate) IsEquality() bool { return p.Op == "=" }
+
+// IsValueFilter reports whether the predicate compares the column against
+// constant values (literals or variables), as opposed to another column.
+func (p Predicate) IsValueFilter() bool {
+	return p.Column != "" && p.OtherColumn == "" && p.Op != "complex"
+}
+
+// Info is the parsed-and-summarized form of one SELECT statement: the query
+// template (SFC, SWC, SSC), the concrete clauses (FC, WC, SC), and the
+// predicate summary. It retains the AST for rewriting.
+type Info struct {
+	Stmt *sqlast.SelectStatement
+
+	// Skeleton clause texts (literals masked, identifiers normalized) —
+	// Definition 2.
+	SFC, SWC, SSC string
+	// Concrete clause texts (identifiers normalized, literals kept) —
+	// Definition 3.
+	FC, WC, SC string
+
+	// Fingerprint identifies the template (SFC, SWC, SSC) — Definition 4/5.
+	Fingerprint uint64
+
+	// Predicates are the top-level AND-connected conjuncts of WHERE.
+	Predicates []Predicate
+	// SelectCols are the canonical names of plain columns in the select
+	// list ("*" for star). Columns inside function calls are included too,
+	// because CTH detection asks whether an output attribute feeds a later
+	// WHERE clause.
+	SelectCols []string
+	// TableNames are the canonical base-table names referenced anywhere in
+	// the statement, deduplicated, in encounter order.
+	TableNames []string
+}
+
+// CP returns the count of predicates (Definition 11's CP).
+func (in *Info) CP() int { return len(in.Predicates) }
+
+// SkeletonText returns the full skeleton-query text (all clauses).
+func (in *Info) SkeletonText() string { return sqlast.Canonical(in.Stmt) }
+
+// TemplateEqual reports whether two statements have equal skeletons
+// (Definition 5: SFC, SWC and SSC all equal).
+func TemplateEqual(a, b *Info) bool {
+	return a.SFC == b.SFC && a.SWC == b.SWC && a.SSC == b.SSC
+}
+
+var (
+	maskOpts     = sqlast.PrintOptions{MaskLiterals: true, NormalizeIdents: true}
+	concreteOpts = sqlast.PrintOptions{MaskLiterals: false, NormalizeIdents: true}
+)
+
+// Analyze computes the Info summary for a parsed SELECT statement.
+func Analyze(sel *sqlast.SelectStatement) *Info {
+	in := &Info{Stmt: sel}
+	in.SSC, in.SC = printSelectList(sel, true), printSelectList(sel, false)
+	in.SFC, in.FC = printFromList(sel, true), printFromList(sel, false)
+	if sel.Where != nil {
+		in.SWC = sqlast.PrintExpr(sel.Where, maskOpts)
+		in.WC = sqlast.PrintExpr(sel.Where, concreteOpts)
+	}
+	in.Fingerprint = fingerprint(in.SFC, in.SWC, in.SSC)
+	in.Predicates = ExtractPredicates(sel.Where)
+	in.SelectCols = selectColumns(sel)
+	in.TableNames = tableNames(sel)
+	return in
+}
+
+func fingerprint(sfc, swc, ssc string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(sfc))
+	h.Write([]byte{0})
+	h.Write([]byte(swc))
+	h.Write([]byte{0})
+	h.Write([]byte(ssc))
+	return h.Sum64()
+}
+
+// FingerprintOf returns the template fingerprint for arbitrary clause texts.
+// Exposed for tests and for the loose-matching ablation.
+func FingerprintOf(sfc, swc, ssc string) uint64 { return fingerprint(sfc, swc, ssc) }
+
+func printSelectList(sel *sqlast.SelectStatement, masked bool) string {
+	o := concreteOpts
+	if masked {
+		o = maskOpts
+	}
+	var parts []string
+	for _, it := range sel.Items {
+		s := sqlast.PrintExpr(it.Expr, o)
+		if it.Alias != "" {
+			s += " AS " + strings.ToLower(it.Alias)
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func printFromList(sel *sqlast.SelectStatement, masked bool) string {
+	o := concreteOpts
+	if masked {
+		o = maskOpts
+	}
+	var parts []string
+	for _, ts := range sel.From {
+		parts = append(parts, sqlast.PrintTableSource(ts, o))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ExtractPredicates flattens a WHERE expression over AND and summarizes each
+// conjunct. A nil expression yields nil.
+func ExtractPredicates(where sqlast.Expr) []Predicate {
+	if where == nil {
+		return nil
+	}
+	var conjuncts []sqlast.Expr
+	flattenAnd(where, &conjuncts)
+	preds := make([]Predicate, 0, len(conjuncts))
+	for _, c := range conjuncts {
+		preds = append(preds, summarize(c))
+	}
+	return preds
+}
+
+func flattenAnd(e sqlast.Expr, out *[]sqlast.Expr) {
+	switch x := e.(type) {
+	case *sqlast.BinaryExpr:
+		if x.Op == "AND" {
+			flattenAnd(x.Left, out)
+			flattenAnd(x.Right, out)
+			return
+		}
+	case *sqlast.ParenExpr:
+		flattenAnd(x.X, out)
+		return
+	}
+	*out = append(*out, e)
+}
+
+func summarize(e sqlast.Expr) Predicate {
+	switch x := e.(type) {
+	case *sqlast.BinaryExpr:
+		switch x.Op {
+		case "=", "<>", "<", ">", "<=", ">=":
+			col, colOK := asColumn(x.Left)
+			if !colOK {
+				// value op column — normalize by flipping.
+				if rcol, ok := asColumn(x.Right); ok {
+					return summarizeCmp(rcol, flipOp(x.Op), x.Left)
+				}
+				return Predicate{Op: "complex"}
+			}
+			return summarizeCmp(col, x.Op, x.Right)
+		}
+		return Predicate{Op: "complex"}
+	case *sqlast.InExpr:
+		col, ok := asColumn(x.X)
+		if !ok || x.Sub != nil || x.Not {
+			return Predicate{Op: "complex"}
+		}
+		p := Predicate{Qualifier: canon(col.Qualifier), Column: canon(col.Name), Op: "IN"}
+		for _, it := range x.List {
+			if lit, ok := it.(*sqlast.Literal); ok {
+				p.Literals = append(p.Literals, *lit)
+			}
+		}
+		return p
+	case *sqlast.BetweenExpr:
+		col, ok := asColumn(x.X)
+		if !ok || x.Not {
+			return Predicate{Op: "complex"}
+		}
+		p := Predicate{Qualifier: canon(col.Qualifier), Column: canon(col.Name), Op: "BETWEEN"}
+		if lo, ok := x.Lo.(*sqlast.Literal); ok {
+			p.Literals = append(p.Literals, *lo)
+		}
+		if hi, ok := x.Hi.(*sqlast.Literal); ok {
+			p.Literals = append(p.Literals, *hi)
+		}
+		return p
+	case *sqlast.IsNullExpr:
+		col, ok := asColumn(x.X)
+		if !ok {
+			return Predicate{Op: "complex"}
+		}
+		op := "IS NULL"
+		if x.Not {
+			op = "IS NOT NULL"
+		}
+		return Predicate{Qualifier: canon(col.Qualifier), Column: canon(col.Name), Op: op}
+	case *sqlast.LikeExpr:
+		col, ok := asColumn(x.X)
+		if !ok || x.Not {
+			return Predicate{Op: "complex"}
+		}
+		p := Predicate{Qualifier: canon(col.Qualifier), Column: canon(col.Name), Op: "LIKE"}
+		if lit, ok := x.Pattern.(*sqlast.Literal); ok {
+			p.Literals = append(p.Literals, *lit)
+		}
+		return p
+	case *sqlast.ParenExpr:
+		return summarize(x.X)
+	}
+	return Predicate{Op: "complex"}
+}
+
+func summarizeCmp(col *sqlast.ColumnRef, op string, rhs sqlast.Expr) Predicate {
+	p := Predicate{Qualifier: canon(col.Qualifier), Column: canon(col.Name), Op: op}
+	switch r := rhs.(type) {
+	case *sqlast.Literal:
+		if r.Kind == "null" {
+			p.NullCompare = op == "=" || op == "<>"
+		}
+		p.Literals = []sqlast.Literal{*r}
+	case *sqlast.ColumnRef:
+		if !r.Star {
+			p.OtherColumn = canon(r.Name)
+			if q := canon(r.Qualifier); q != "" {
+				p.OtherColumn = q + "." + p.OtherColumn
+			}
+		}
+	case *sqlast.Variable:
+		// Variables act as parameters; treat like a literal-valued filter
+		// with no recorded value.
+	default:
+		p.Op = "complex"
+		p.Column = ""
+		p.Qualifier = ""
+	}
+	return p
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case ">":
+		return "<"
+	case "<=":
+		return ">="
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+func asColumn(e sqlast.Expr) (*sqlast.ColumnRef, bool) {
+	switch x := e.(type) {
+	case *sqlast.ColumnRef:
+		if x.Star {
+			return nil, false
+		}
+		return x, true
+	case *sqlast.ParenExpr:
+		return asColumn(x.X)
+	}
+	return nil, false
+}
+
+func canon(s string) string { return strings.ToLower(s) }
+
+func selectColumns(sel *sqlast.SelectStatement) []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(name string) {
+		if name != "" && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	for _, it := range sel.Items {
+		sqlast.Walk(it.Expr, func(n sqlast.Node) bool {
+			if c, ok := n.(*sqlast.ColumnRef); ok {
+				if c.Star {
+					add("*")
+				} else {
+					add(canon(c.Name))
+				}
+			}
+			// Do not descend into subqueries in the select list: their
+			// output columns are not this query's output columns.
+			_, isSub := n.(*sqlast.SubqueryExpr)
+			return !isSub
+		})
+	}
+	return out
+}
+
+func tableNames(sel *sqlast.SelectStatement) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, t := range sqlast.Tables(sel) {
+		name := canon(t.Name)
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	return out
+}

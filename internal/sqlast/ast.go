@@ -1,0 +1,360 @@
+// Package sqlast defines the abstract syntax tree for the SELECT dialect
+// understood by the framework, together with a deterministic printer and a
+// generic tree walker. Skeleton queries (literals masked by placeholders) are
+// produced by printing with masking enabled; see package skeleton.
+package sqlast
+
+// Node is implemented by every AST node.
+type Node interface{ node() }
+
+// Expr is implemented by every expression node.
+type Expr interface {
+	Node
+	expr()
+}
+
+// Statement is implemented by every top-level statement.
+type Statement interface {
+	Node
+	stmt()
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// Literal is a constant in the query text. Skeletonization replaces Literals
+// with placeholders.
+type Literal struct {
+	// Kind is one of "num", "str", "null".
+	Kind string
+	// Val holds the literal text for numbers and the unquoted content for
+	// strings; empty for NULL.
+	Val string
+}
+
+// ColumnRef is a possibly qualified column reference such as p.objID or
+// name. Star references (p.* or *) have Star set and Name empty.
+type ColumnRef struct {
+	Qualifier string // table or alias, may be empty
+	Name      string
+	Star      bool
+}
+
+// Variable is a T-SQL variable reference such as @ra.
+type Variable struct{ Name string }
+
+// BinaryExpr is a binary operation. Op is upper-cased for word operators
+// (AND, OR, LIKE) and literal for symbols (=, <>, <=, +, ...).
+type BinaryExpr struct {
+	Op          string
+	Left, Right Expr
+}
+
+// UnaryExpr is NOT x or -x or +x or ~x.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// ParenExpr preserves explicit grouping so printing round-trips precedence.
+type ParenExpr struct{ X Expr }
+
+// FuncCall is a scalar or aggregate function call, e.g. count(*),
+// dbo.fGetNearbyObjEq(@ra, @dec, @r), str(p.ra, 12, 7).
+type FuncCall struct {
+	Schema   string // optional, e.g. "dbo"
+	Name     string
+	Distinct bool // COUNT(DISTINCT x)
+	Star     bool // COUNT(*)
+	Args     []Expr
+}
+
+// InExpr is x [NOT] IN (list...) or x [NOT] IN (subquery).
+type InExpr struct {
+	X    Expr
+	Not  bool
+	List []Expr
+	Sub  *SelectStatement // non-nil for IN (SELECT ...)
+}
+
+// BetweenExpr is x [NOT] BETWEEN lo AND hi.
+type BetweenExpr struct {
+	X      Expr
+	Not    bool
+	Lo, Hi Expr
+}
+
+// IsNullExpr is x IS [NOT] NULL.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+// LikeExpr is x [NOT] LIKE pattern.
+type LikeExpr struct {
+	X       Expr
+	Not     bool
+	Pattern Expr
+}
+
+// ExistsExpr is EXISTS (subquery).
+type ExistsExpr struct{ Sub *SelectStatement }
+
+// SubqueryExpr is a scalar subquery used as an expression.
+type SubqueryExpr struct{ Sub *SelectStatement }
+
+// CastExpr is CAST(x AS type) — CONVERT(type, x) parses to the same node.
+// TypeArgs hold optional length/precision arguments (varchar(30)).
+type CastExpr struct {
+	X        Expr
+	Type     string
+	TypeArgs []string
+}
+
+// CaseExpr is CASE [operand] WHEN ... THEN ... [ELSE ...] END.
+type CaseExpr struct {
+	Operand Expr // may be nil (searched CASE)
+	Whens   []CaseWhen
+	Else    Expr // may be nil
+}
+
+// CaseWhen is one WHEN/THEN arm of a CaseExpr.
+type CaseWhen struct {
+	Cond Expr
+	Then Expr
+}
+
+func (*Literal) node()      {}
+func (*ColumnRef) node()    {}
+func (*Variable) node()     {}
+func (*BinaryExpr) node()   {}
+func (*UnaryExpr) node()    {}
+func (*ParenExpr) node()    {}
+func (*FuncCall) node()     {}
+func (*InExpr) node()       {}
+func (*BetweenExpr) node()  {}
+func (*IsNullExpr) node()   {}
+func (*LikeExpr) node()     {}
+func (*ExistsExpr) node()   {}
+func (*SubqueryExpr) node() {}
+func (*CastExpr) node()     {}
+func (*CaseExpr) node()     {}
+
+func (*Literal) expr()      {}
+func (*ColumnRef) expr()    {}
+func (*Variable) expr()     {}
+func (*BinaryExpr) expr()   {}
+func (*UnaryExpr) expr()    {}
+func (*ParenExpr) expr()    {}
+func (*FuncCall) expr()     {}
+func (*InExpr) expr()       {}
+func (*BetweenExpr) expr()  {}
+func (*IsNullExpr) expr()   {}
+func (*LikeExpr) expr()     {}
+func (*ExistsExpr) expr()   {}
+func (*SubqueryExpr) expr() {}
+func (*CastExpr) expr()     {}
+func (*CaseExpr) expr()     {}
+
+// ---------------------------------------------------------------------------
+// SELECT statement
+// ---------------------------------------------------------------------------
+
+// SelectItem is one element of the select list.
+type SelectItem struct {
+	Expr  Expr
+	Alias string // optional AS alias
+}
+
+// TableSource is implemented by things that can appear in FROM: base tables,
+// table-valued functions, derived tables, and joins.
+type TableSource interface {
+	Node
+	tableSource()
+}
+
+// TableRef is a base table reference, optionally schema-qualified and
+// aliased: photoprimary p, dbo.SpecObjAll AS s.
+type TableRef struct {
+	Schema string
+	Name   string
+	Alias  string
+}
+
+// FuncSource is a table-valued function in FROM, e.g.
+// dbo.fGetNearbyObjEq(@ra,@dec,@r) AS n.
+type FuncSource struct {
+	Call  *FuncCall
+	Alias string
+}
+
+// DerivedTable is a parenthesized subquery in FROM with an alias.
+type DerivedTable struct {
+	Sub   *SelectStatement
+	Alias string
+}
+
+// JoinKind distinguishes join varieties.
+type JoinKind int
+
+// Join kinds.
+const (
+	InnerJoin JoinKind = iota
+	LeftJoin
+	RightJoin
+	FullJoin
+	CrossJoin
+	CrossApply
+	OuterApply
+)
+
+func (k JoinKind) String() string {
+	switch k {
+	case InnerJoin:
+		return "INNER JOIN"
+	case LeftJoin:
+		return "LEFT OUTER JOIN"
+	case RightJoin:
+		return "RIGHT OUTER JOIN"
+	case FullJoin:
+		return "FULL OUTER JOIN"
+	case CrossJoin:
+		return "CROSS JOIN"
+	case CrossApply:
+		return "CROSS APPLY"
+	case OuterApply:
+		return "OUTER APPLY"
+	}
+	return "JOIN"
+}
+
+// Join combines two table sources. Cond is nil for CROSS JOIN and APPLY.
+type Join struct {
+	Kind        JoinKind
+	Left, Right TableSource
+	Cond        Expr
+}
+
+func (*TableRef) node()     {}
+func (*FuncSource) node()   {}
+func (*DerivedTable) node() {}
+func (*Join) node()         {}
+
+func (*TableRef) tableSource()     {}
+func (*FuncSource) tableSource()   {}
+func (*DerivedTable) tableSource() {}
+func (*Join) tableSource()         {}
+
+// OrderItem is one ORDER BY element.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStatement is a full SELECT query, possibly with UNION branches
+// chained via SetOp/SetRight.
+type SelectStatement struct {
+	Distinct bool
+	// Top is the TOP n row limit; nil when absent.
+	Top *Literal
+	// TopPercent is set for TOP n PERCENT.
+	TopPercent bool
+	Items      []SelectItem
+	// From holds the comma-separated FROM entries; joins nest inside a
+	// single entry. Empty for FROM-less selects (SELECT 1).
+	From    []TableSource
+	Where   Expr // nil when absent
+	GroupBy []Expr
+	Having  Expr
+	OrderBy []OrderItem
+	// SetOp is "", "UNION", "UNION ALL", "EXCEPT" or "INTERSECT"; when
+	// non-empty SetRight is the right-hand query.
+	SetOp    string
+	SetRight *SelectStatement
+}
+
+func (*SelectStatement) node() {}
+func (*SelectStatement) stmt() {}
+
+// ---------------------------------------------------------------------------
+// Non-SELECT statements (classified, not deeply modeled)
+// ---------------------------------------------------------------------------
+
+// StatementClass labels what kind of statement a log entry holds.
+type StatementClass int
+
+// Statement classes.
+const (
+	ClassSelect StatementClass = iota
+	ClassDML                   // INSERT, UPDATE, DELETE, TRUNCATE
+	ClassDDL                   // CREATE, DROP, ALTER, GRANT, REVOKE
+	ClassExec                  // EXEC/EXECUTE procedure calls, DECLARE blocks
+	ClassError                 // failed to parse
+)
+
+func (c StatementClass) String() string {
+	switch c {
+	case ClassSelect:
+		return "select"
+	case ClassDML:
+		return "dml"
+	case ClassDDL:
+		return "ddl"
+	case ClassExec:
+		return "exec"
+	case ClassError:
+		return "error"
+	}
+	return "unknown"
+}
+
+// OtherStatement records a recognized-but-not-modeled statement (DDL, EXEC,
+// or DML the parser could not model). Raw preserves the original text.
+type OtherStatement struct {
+	Class StatementClass
+	Verb  string // leading keyword, e.g. "INSERT"
+	Raw   string
+}
+
+func (*OtherStatement) node() {}
+func (*OtherStatement) stmt() {}
+
+// ---------------------------------------------------------------------------
+// DML statements (modeled so the engine can execute OLTP workloads; the
+// cleaning pipeline itself only classifies them, per the paper's SELECT-only
+// scope)
+// ---------------------------------------------------------------------------
+
+// InsertStatement is INSERT INTO table [(cols)] VALUES (exprs)[, (exprs)...].
+type InsertStatement struct {
+	Table   *TableRef
+	Columns []string // empty: positional over the table's full column list
+	Rows    [][]Expr
+}
+
+// UpdateStatement is UPDATE table SET col = expr[, ...] [WHERE cond].
+type UpdateStatement struct {
+	Table *TableRef
+	Set   []SetClause
+	Where Expr // nil: all rows
+}
+
+// SetClause is one col = expr assignment of an UPDATE.
+type SetClause struct {
+	Column string
+	Value  Expr
+}
+
+// DeleteStatement is DELETE FROM table [WHERE cond].
+type DeleteStatement struct {
+	Table *TableRef
+	Where Expr // nil: all rows
+}
+
+func (*InsertStatement) node() {}
+func (*InsertStatement) stmt() {}
+func (*UpdateStatement) node() {}
+func (*UpdateStatement) stmt() {}
+func (*DeleteStatement) node() {}
+func (*DeleteStatement) stmt() {}

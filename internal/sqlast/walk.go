@@ -1,0 +1,232 @@
+package sqlast
+
+// Walk calls fn for every node in the tree rooted at n, in depth-first
+// pre-order. If fn returns false for a node, its children are skipped.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *SelectStatement:
+		for _, it := range x.Items {
+			Walk(it.Expr, fn)
+		}
+		for _, ts := range x.From {
+			Walk(ts, fn)
+		}
+		if x.Where != nil {
+			Walk(x.Where, fn)
+		}
+		for _, g := range x.GroupBy {
+			Walk(g, fn)
+		}
+		if x.Having != nil {
+			Walk(x.Having, fn)
+		}
+		for _, oi := range x.OrderBy {
+			Walk(oi.Expr, fn)
+		}
+		if x.SetRight != nil {
+			Walk(x.SetRight, fn)
+		}
+	case *TableRef, *Literal, *ColumnRef, *Variable, *OtherStatement:
+		// leaves
+	case *FuncSource:
+		Walk(x.Call, fn)
+	case *DerivedTable:
+		Walk(x.Sub, fn)
+	case *Join:
+		Walk(x.Left, fn)
+		Walk(x.Right, fn)
+		if x.Cond != nil {
+			Walk(x.Cond, fn)
+		}
+	case *BinaryExpr:
+		Walk(x.Left, fn)
+		Walk(x.Right, fn)
+	case *UnaryExpr:
+		Walk(x.X, fn)
+	case *ParenExpr:
+		Walk(x.X, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *InExpr:
+		Walk(x.X, fn)
+		for _, it := range x.List {
+			Walk(it, fn)
+		}
+		if x.Sub != nil {
+			Walk(x.Sub, fn)
+		}
+	case *BetweenExpr:
+		Walk(x.X, fn)
+		Walk(x.Lo, fn)
+		Walk(x.Hi, fn)
+	case *IsNullExpr:
+		Walk(x.X, fn)
+	case *LikeExpr:
+		Walk(x.X, fn)
+		Walk(x.Pattern, fn)
+	case *ExistsExpr:
+		Walk(x.Sub, fn)
+	case *SubqueryExpr:
+		Walk(x.Sub, fn)
+	case *CastExpr:
+		Walk(x.X, fn)
+	case *CaseExpr:
+		if x.Operand != nil {
+			Walk(x.Operand, fn)
+		}
+		for _, w := range x.Whens {
+			Walk(w.Cond, fn)
+			Walk(w.Then, fn)
+		}
+		if x.Else != nil {
+			Walk(x.Else, fn)
+		}
+	}
+}
+
+// Tables returns every base table referenced anywhere in the statement,
+// including inside joins, derived tables and subqueries, in encounter order.
+func Tables(s *SelectStatement) []*TableRef {
+	var out []*TableRef
+	Walk(s, func(n Node) bool {
+		if t, ok := n.(*TableRef); ok {
+			out = append(out, t)
+		}
+		return true
+	})
+	return out
+}
+
+// Columns returns every column reference anywhere in the statement in
+// encounter order (star references included).
+func Columns(s *SelectStatement) []*ColumnRef {
+	var out []*ColumnRef
+	Walk(s, func(n Node) bool {
+		if c, ok := n.(*ColumnRef); ok {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// Literals returns every literal in the statement in encounter order.
+func Literals(s *SelectStatement) []*Literal {
+	var out []*Literal
+	Walk(s, func(n Node) bool {
+		if l, ok := n.(*Literal); ok {
+			out = append(out, l)
+		}
+		return true
+	})
+	return out
+}
+
+// CloneExpr returns a deep copy of an expression tree.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Literal:
+		c := *x
+		return &c
+	case *ColumnRef:
+		c := *x
+		return &c
+	case *Variable:
+		c := *x
+		return &c
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op, Left: CloneExpr(x.Left), Right: CloneExpr(x.Right)}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: x.Op, X: CloneExpr(x.X)}
+	case *ParenExpr:
+		return &ParenExpr{X: CloneExpr(x.X)}
+	case *FuncCall:
+		c := &FuncCall{Schema: x.Schema, Name: x.Name, Distinct: x.Distinct, Star: x.Star}
+		for _, a := range x.Args {
+			c.Args = append(c.Args, CloneExpr(a))
+		}
+		return c
+	case *InExpr:
+		c := &InExpr{X: CloneExpr(x.X), Not: x.Not, Sub: CloneSelect(x.Sub)}
+		for _, it := range x.List {
+			c.List = append(c.List, CloneExpr(it))
+		}
+		return c
+	case *BetweenExpr:
+		return &BetweenExpr{X: CloneExpr(x.X), Not: x.Not, Lo: CloneExpr(x.Lo), Hi: CloneExpr(x.Hi)}
+	case *IsNullExpr:
+		return &IsNullExpr{X: CloneExpr(x.X), Not: x.Not}
+	case *LikeExpr:
+		return &LikeExpr{X: CloneExpr(x.X), Not: x.Not, Pattern: CloneExpr(x.Pattern)}
+	case *ExistsExpr:
+		return &ExistsExpr{Sub: CloneSelect(x.Sub)}
+	case *SubqueryExpr:
+		return &SubqueryExpr{Sub: CloneSelect(x.Sub)}
+	case *CastExpr:
+		return &CastExpr{X: CloneExpr(x.X), Type: x.Type, TypeArgs: append([]string(nil), x.TypeArgs...)}
+	case *CaseExpr:
+		c := &CaseExpr{Operand: CloneExpr(x.Operand), Else: CloneExpr(x.Else)}
+		for _, w := range x.Whens {
+			c.Whens = append(c.Whens, CaseWhen{Cond: CloneExpr(w.Cond), Then: CloneExpr(w.Then)})
+		}
+		return c
+	}
+	return e
+}
+
+// CloneTableSource returns a deep copy of a FROM entry.
+func CloneTableSource(ts TableSource) TableSource {
+	switch t := ts.(type) {
+	case nil:
+		return nil
+	case *TableRef:
+		c := *t
+		return &c
+	case *FuncSource:
+		return &FuncSource{Call: CloneExpr(t.Call).(*FuncCall), Alias: t.Alias}
+	case *DerivedTable:
+		return &DerivedTable{Sub: CloneSelect(t.Sub), Alias: t.Alias}
+	case *Join:
+		return &Join{Kind: t.Kind, Left: CloneTableSource(t.Left), Right: CloneTableSource(t.Right), Cond: CloneExpr(t.Cond)}
+	}
+	return ts
+}
+
+// CloneSelect returns a deep copy of a SELECT statement. Nil in, nil out.
+func CloneSelect(s *SelectStatement) *SelectStatement {
+	if s == nil {
+		return nil
+	}
+	c := &SelectStatement{
+		Distinct:   s.Distinct,
+		TopPercent: s.TopPercent,
+		Where:      CloneExpr(s.Where),
+		Having:     CloneExpr(s.Having),
+		SetOp:      s.SetOp,
+		SetRight:   CloneSelect(s.SetRight),
+	}
+	if s.Top != nil {
+		t := *s.Top
+		c.Top = &t
+	}
+	for _, it := range s.Items {
+		c.Items = append(c.Items, SelectItem{Expr: CloneExpr(it.Expr), Alias: it.Alias})
+	}
+	for _, ts := range s.From {
+		c.From = append(c.From, CloneTableSource(ts))
+	}
+	for _, g := range s.GroupBy {
+		c.GroupBy = append(c.GroupBy, CloneExpr(g))
+	}
+	for _, oi := range s.OrderBy {
+		c.OrderBy = append(c.OrderBy, OrderItem{Expr: CloneExpr(oi.Expr), Desc: oi.Desc})
+	}
+	return c
+}

@@ -1,0 +1,146 @@
+package sqlparser
+
+import (
+	"sqlclean/internal/sqlast"
+	"sqlclean/internal/sqltoken"
+)
+
+// DML parsing. The cleaning pipeline only classifies DML (the paper cleans
+// SELECT logs), but the execution engine models INSERT/UPDATE/DELETE so
+// OLTP workloads like the paper's Example 7 BUY procedure run end to end.
+// parseStatement calls these tolerantly: when a typed parse fails, the
+// statement degrades to an OtherStatement with ClassDML, never ClassError —
+// real logs carry DML dialects beyond this model, and they must still be
+// counted as DML.
+
+func (p *parser) parseInsert() (sqlast.Statement, bool) {
+	p.advance() // INSERT
+	if !p.acceptKw("INTO") {
+		return nil, false
+	}
+	schema, name, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, false
+	}
+	st := &sqlast.InsertStatement{Table: &sqlast.TableRef{Schema: schema, Name: name}}
+	if p.isOp("(") {
+		// Column list — but "(" could also start VALUES-less syntax; here
+		// only a column list is legal before VALUES.
+		p.advance()
+		for {
+			t := p.cur()
+			if t.Kind != sqltoken.Ident && t.Kind != sqltoken.QuotedIdent && t.Kind != sqltoken.Keyword {
+				return nil, false
+			}
+			p.advance()
+			st.Columns = append(st.Columns, t.Val)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if !p.acceptOp(")") {
+			return nil, false
+		}
+	}
+	if !p.acceptKw("VALUES") {
+		return nil, false // INSERT ... SELECT and other forms degrade
+	}
+	for {
+		if !p.acceptOp("(") {
+			return nil, false
+		}
+		var row []sqlast.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, false
+			}
+			row = append(row, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if !p.acceptOp(")") {
+			return nil, false
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if !p.atEndOfStatement() {
+		return nil, false
+	}
+	return st, true
+}
+
+func (p *parser) parseUpdate() (sqlast.Statement, bool) {
+	p.advance() // UPDATE
+	schema, name, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, false
+	}
+	st := &sqlast.UpdateStatement{Table: &sqlast.TableRef{Schema: schema, Name: name}}
+	if !p.acceptKw("SET") {
+		return nil, false
+	}
+	for {
+		t := p.cur()
+		if t.Kind != sqltoken.Ident && t.Kind != sqltoken.QuotedIdent && t.Kind != sqltoken.Keyword {
+			return nil, false
+		}
+		p.advance()
+		if !p.acceptOp("=") {
+			return nil, false
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, false
+		}
+		st.Set = append(st.Set, sqlast.SetClause{Column: t.Val, Value: v})
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, false
+		}
+		st.Where = w
+	}
+	if !p.atEndOfStatement() {
+		return nil, false
+	}
+	return st, true
+}
+
+func (p *parser) parseDelete() (sqlast.Statement, bool) {
+	p.advance() // DELETE
+	if !p.acceptKw("FROM") {
+		return nil, false
+	}
+	schema, name, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, false
+	}
+	st := &sqlast.DeleteStatement{Table: &sqlast.TableRef{Schema: schema, Name: name}}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, false
+		}
+		st.Where = w
+	}
+	if !p.atEndOfStatement() {
+		return nil, false
+	}
+	return st, true
+}
+
+// atEndOfStatement consumes an optional trailing semicolon and reports
+// whether the token stream is exhausted.
+func (p *parser) atEndOfStatement() bool {
+	p.acceptOp(";")
+	return p.cur().Kind == sqltoken.EOF
+}

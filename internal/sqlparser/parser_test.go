@@ -1,0 +1,499 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"sqlclean/internal/sqlast"
+)
+
+func mustSelect(t *testing.T, q string) *sqlast.SelectStatement {
+	t.Helper()
+	sel, err := ParseSelect(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	return sel
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	sel := mustSelect(t, "SELECT name, surname FROM Employee WHERE id = 12")
+	if len(sel.Items) != 2 {
+		t.Fatalf("items: %v", sel.Items)
+	}
+	if len(sel.From) != 1 {
+		t.Fatalf("from: %v", sel.From)
+	}
+	tr, ok := sel.From[0].(*sqlast.TableRef)
+	if !ok || tr.Name != "Employee" {
+		t.Fatalf("from: %#v", sel.From[0])
+	}
+	be, ok := sel.Where.(*sqlast.BinaryExpr)
+	if !ok || be.Op != "=" {
+		t.Fatalf("where: %#v", sel.Where)
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	sel := mustSelect(t, "SELECT E.name AS n, E.age a FROM Employees AS E")
+	if sel.Items[0].Alias != "n" || sel.Items[1].Alias != "a" {
+		t.Errorf("aliases: %+v", sel.Items)
+	}
+	if sel.From[0].(*sqlast.TableRef).Alias != "E" {
+		t.Errorf("table alias: %+v", sel.From[0])
+	}
+}
+
+func TestParseTSQLAssignmentAlias(t *testing.T) {
+	sel := mustSelect(t, "SELECT n = count(*) FROM t")
+	if sel.Items[0].Alias != "n" {
+		t.Errorf("assignment alias: %+v", sel.Items[0])
+	}
+	if _, ok := sel.Items[0].Expr.(*sqlast.FuncCall); !ok {
+		t.Errorf("expr: %#v", sel.Items[0].Expr)
+	}
+}
+
+func TestParseTopVariants(t *testing.T) {
+	sel := mustSelect(t, "SELECT TOP 10 * FROM t")
+	if sel.Top == nil || sel.Top.Val != "10" || sel.TopPercent {
+		t.Errorf("top: %+v", sel)
+	}
+	sel = mustSelect(t, "SELECT TOP (5) PERCENT a FROM t")
+	if sel.Top == nil || sel.Top.Val != "5" || !sel.TopPercent {
+		t.Errorf("top percent: %+v", sel)
+	}
+	if _, err := ParseSelect("SELECT TOP x a FROM t"); err == nil {
+		t.Error("want error for non-numeric TOP")
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	if !mustSelect(t, "SELECT DISTINCT a FROM t").Distinct {
+		t.Error("distinct not set")
+	}
+	if mustSelect(t, "SELECT ALL a FROM t").Distinct {
+		t.Error("ALL must not set distinct")
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t1 JOIN t2 ON t1.x = t2.x LEFT JOIN t3 ON t2.y = t3.y")
+	j, ok := sel.From[0].(*sqlast.Join)
+	if !ok || j.Kind != sqlast.LeftJoin {
+		t.Fatalf("outer join: %#v", sel.From[0])
+	}
+	inner, ok := j.Left.(*sqlast.Join)
+	if !ok || inner.Kind != sqlast.InnerJoin {
+		t.Fatalf("inner join: %#v", j.Left)
+	}
+}
+
+func TestParseJoinVarieties(t *testing.T) {
+	cases := map[string]sqlast.JoinKind{
+		"SELECT a FROM t1 INNER JOIN t2 ON t1.x = t2.x":      sqlast.InnerJoin,
+		"SELECT a FROM t1 LEFT OUTER JOIN t2 ON t1.x = t2.x": sqlast.LeftJoin,
+		"SELECT a FROM t1 RIGHT JOIN t2 ON t1.x = t2.x":      sqlast.RightJoin,
+		"SELECT a FROM t1 FULL OUTER JOIN t2 ON t1.x = t2.x": sqlast.FullJoin,
+		"SELECT a FROM t1 CROSS JOIN t2":                     sqlast.CrossJoin,
+		"SELECT a FROM t1 CROSS APPLY f(t1.x) x":             sqlast.CrossApply,
+	}
+	for q, want := range cases {
+		sel := mustSelect(t, q)
+		j, ok := sel.From[0].(*sqlast.Join)
+		if !ok || j.Kind != want {
+			t.Errorf("%q: got %#v", q, sel.From[0])
+		}
+	}
+}
+
+func TestParseCommaFrom(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t1, t2 WHERE t1.x = t2.x")
+	if len(sel.From) != 2 {
+		t.Fatalf("from: %v", sel.From)
+	}
+}
+
+func TestParseTableValuedFunction(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM dbo.fGetNearbyObjEq(@ra, @dec, @r) AS n")
+	fs, ok := sel.From[0].(*sqlast.FuncSource)
+	if !ok {
+		t.Fatalf("from: %#v", sel.From[0])
+	}
+	if fs.Call.Schema != "dbo" || fs.Call.Name != "fGetNearbyObjEq" || len(fs.Call.Args) != 3 || fs.Alias != "n" {
+		t.Errorf("func source: %+v", fs)
+	}
+}
+
+func TestParseDerivedTable(t *testing.T) {
+	sel := mustSelect(t, "SELECT o.c FROM (SELECT empId, count(*) AS c FROM Orders GROUP BY empId) o")
+	dt, ok := sel.From[0].(*sqlast.DerivedTable)
+	if !ok || dt.Alias != "o" {
+		t.Fatalf("from: %#v", sel.From[0])
+	}
+	if len(dt.Sub.GroupBy) != 1 {
+		t.Errorf("subquery group by: %+v", dt.Sub)
+	}
+}
+
+func TestParseParenthesizedJoin(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM (t1 JOIN t2 ON t1.x = t2.x)")
+	if _, ok := sel.From[0].(*sqlast.Join); !ok {
+		t.Fatalf("from: %#v", sel.From[0])
+	}
+}
+
+func TestParseWherePrecedence(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3")
+	or, ok := sel.Where.(*sqlast.BinaryExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("want OR at top: %#v", sel.Where)
+	}
+	and, ok := or.Right.(*sqlast.BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("want AND under OR: %#v", or.Right)
+	}
+}
+
+func TestParseNotPrecedence(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t WHERE NOT x = 1 AND y = 2")
+	and := sel.Where.(*sqlast.BinaryExpr)
+	if and.Op != "AND" {
+		t.Fatalf("top: %#v", sel.Where)
+	}
+	if _, ok := and.Left.(*sqlast.UnaryExpr); !ok {
+		t.Fatalf("NOT binds tighter than AND: %#v", and.Left)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t WHERE x + 2 * 3 = 7")
+	cmp := sel.Where.(*sqlast.BinaryExpr)
+	add := cmp.Left.(*sqlast.BinaryExpr)
+	if add.Op != "+" {
+		t.Fatalf("want + at left: %#v", cmp.Left)
+	}
+	if mul, ok := add.Right.(*sqlast.BinaryExpr); !ok || mul.Op != "*" {
+		t.Fatalf("want * under +: %#v", add.Right)
+	}
+}
+
+func TestParseInBetweenLikeIsNull(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t WHERE a IN (1, 2) AND b NOT IN ('x') AND c BETWEEN 1 AND 9 AND d NOT LIKE 'z%' AND e IS NOT NULL")
+	text := sqlast.PrintExpr(sel.Where, sqlast.PrintOptions{})
+	want := "a IN (1, 2) AND b NOT IN ('x') AND c BETWEEN 1 AND 9 AND d NOT LIKE 'z%' AND e IS NOT NULL"
+	if text != want {
+		t.Errorf("got %q, want %q", text, want)
+	}
+}
+
+func TestParseInSubquery(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t WHERE a IN (SELECT b FROM u)")
+	in, ok := sel.Where.(*sqlast.InExpr)
+	if !ok || in.Sub == nil {
+		t.Fatalf("where: %#v", sel.Where)
+	}
+}
+
+func TestParseExistsAndScalarSubquery(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u) AND b = (SELECT max(c) FROM v)")
+	and := sel.Where.(*sqlast.BinaryExpr)
+	if _, ok := and.Left.(*sqlast.ExistsExpr); !ok {
+		t.Errorf("left: %#v", and.Left)
+	}
+	cmp := and.Right.(*sqlast.BinaryExpr)
+	if _, ok := cmp.Right.(*sqlast.SubqueryExpr); !ok {
+		t.Errorf("right: %#v", cmp.Right)
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	sel := mustSelect(t, "SELECT CASE WHEN a > 0 THEN 'p' WHEN a < 0 THEN 'n' ELSE 'z' END FROM t")
+	c, ok := sel.Items[0].Expr.(*sqlast.CaseExpr)
+	if !ok || len(c.Whens) != 2 || c.Else == nil {
+		t.Fatalf("case: %#v", sel.Items[0].Expr)
+	}
+	sel = mustSelect(t, "SELECT CASE a WHEN 1 THEN 'one' END FROM t")
+	c = sel.Items[0].Expr.(*sqlast.CaseExpr)
+	if c.Operand == nil {
+		t.Error("operand CASE lost its operand")
+	}
+	if _, err := ParseSelect("SELECT CASE END FROM t"); err == nil {
+		t.Error("CASE without WHEN must fail")
+	}
+}
+
+func TestParseUnaryMinusFoldsIntoLiteral(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t WHERE x = -5")
+	cmp := sel.Where.(*sqlast.BinaryExpr)
+	lit, ok := cmp.Right.(*sqlast.Literal)
+	if !ok || lit.Val != "-5" {
+		t.Fatalf("want folded literal, got %#v", cmp.Right)
+	}
+}
+
+func TestParseNegativeComparisonOperators(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t WHERE x != 1 AND y !> 2 AND z !< 3")
+	text := sqlast.PrintExpr(sel.Where, sqlast.PrintOptions{})
+	// != normalizes to <>, !> to <=, !< to >=.
+	if text != "x <> 1 AND y <= 2 AND z >= 3" {
+		t.Errorf("got %q", text)
+	}
+}
+
+func TestParseGroupByHavingOrderBy(t *testing.T) {
+	sel := mustSelect(t, "SELECT a, count(*) FROM t GROUP BY a, b HAVING count(*) > 1 ORDER BY a DESC, b ASC")
+	if len(sel.GroupBy) != 2 || sel.Having == nil || len(sel.OrderBy) != 2 {
+		t.Fatalf("clauses: %+v", sel)
+	}
+	if !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order: %+v", sel.OrderBy)
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t1 UNION SELECT a FROM t2 UNION ALL SELECT a FROM t3")
+	if sel.SetOp != "UNION" || sel.SetRight == nil {
+		t.Fatalf("set op: %+v", sel)
+	}
+	if sel.SetRight.SetOp != "UNION ALL" {
+		t.Errorf("nested set op: %+v", sel.SetRight)
+	}
+}
+
+func TestParseSelectInto(t *testing.T) {
+	sel := mustSelect(t, "SELECT a INTO #tmp FROM t WHERE a > 1")
+	if sel.Where == nil {
+		t.Error("WHERE lost after INTO")
+	}
+}
+
+func TestParseQualifiedStar(t *testing.T) {
+	sel := mustSelect(t, "SELECT p.* FROM photoprimary p")
+	c, ok := sel.Items[0].Expr.(*sqlast.ColumnRef)
+	if !ok || !c.Star || c.Qualifier != "p" {
+		t.Fatalf("got %#v", sel.Items[0].Expr)
+	}
+}
+
+func TestParseThreePartName(t *testing.T) {
+	sel := mustSelect(t, "SELECT db.t.c FROM db.t")
+	c := sel.Items[0].Expr.(*sqlast.ColumnRef)
+	if c.Qualifier != "t" || c.Name != "c" {
+		t.Errorf("got %+v", c)
+	}
+	tr := sel.From[0].(*sqlast.TableRef)
+	if tr.Schema != "db" || tr.Name != "t" {
+		t.Errorf("got %+v", tr)
+	}
+}
+
+func TestParseBuiltinWordFunctions(t *testing.T) {
+	// LEFT/RIGHT are join keywords but also string functions.
+	sel := mustSelect(t, "SELECT left(name, 3) FROM t")
+	f, ok := sel.Items[0].Expr.(*sqlast.FuncCall)
+	if !ok || f.Name != "left" {
+		t.Fatalf("got %#v", sel.Items[0].Expr)
+	}
+}
+
+func TestParseTrailingSemicolonAndGarbage(t *testing.T) {
+	if _, err := ParseSelect("SELECT a FROM t;"); err != nil {
+		t.Errorf("trailing semicolon: %v", err)
+	}
+	if _, err := ParseSelect("SELECT a FROM t; SELECT b FROM u"); err == nil {
+		t.Error("want error for trailing second statement")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := map[string]sqlast.StatementClass{
+		"SELECT 1":                        sqlast.ClassSelect,
+		"INSERT INTO t VALUES (1)":        sqlast.ClassDML,
+		"UPDATE t SET a = 1":              sqlast.ClassDML,
+		"DELETE FROM t":                   sqlast.ClassDML,
+		"TRUNCATE TABLE t":                sqlast.ClassDML,
+		"CREATE TABLE t (a int)":          sqlast.ClassDDL,
+		"DROP TABLE t":                    sqlast.ClassDDL,
+		"ALTER TABLE t ADD b int":         sqlast.ClassDDL,
+		"GRANT SELECT ON t TO u":          sqlast.ClassDDL,
+		"EXEC sp_help":                    sqlast.ClassExec,
+		"DECLARE @x int":                  sqlast.ClassExec,
+		"SELECT FROM t":                   sqlast.ClassError,
+		"SELECT a FROM":                   sqlast.ClassError,
+		"":                                sqlast.ClassError,
+		"bogus statement":                 sqlast.ClassError,
+		"SELECT a FROM t WHERE":           sqlast.ClassError,
+		"SELECT a FROM t WHERE a = 'x":    sqlast.ClassError,
+		"SELECT a FROM t GROUP a":         sqlast.ClassError,
+		"SELECT a FROM t1 JOIN t2":        sqlast.ClassError,
+		"SELECT count( FROM t":            sqlast.ClassError,
+		"SELECT a FROM t WHERE a NOT = 1": sqlast.ClassError,
+	}
+	for q, want := range cases {
+		if got := Classify(q); got != want {
+			t.Errorf("%q: got %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestParseErrorsCarryPosition(t *testing.T) {
+	_, err := Parse("SELECT a FROM t WHERE a = ")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	var pe *ParseError
+	if !errorAs(err, &pe) {
+		t.Fatalf("want *ParseError, got %T: %v", err, err)
+	}
+	if pe.Pos <= 0 {
+		t.Errorf("position: %d", pe.Pos)
+	}
+	if !strings.Contains(pe.Error(), "byte") {
+		t.Errorf("message: %q", pe.Error())
+	}
+}
+
+func errorAs(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+// TestPrintReparseFixpoint checks that printing a parsed statement and
+// parsing it again yields the same canonical text — the parser and printer
+// agree on the dialect.
+func TestPrintReparseFixpoint(t *testing.T) {
+	queries := []string{
+		"SELECT E.empId FROM Employees E WHERE E.department = 'sales'",
+		"SELECT count(orders) FROM Orders O WHERE O.empId = 12",
+		"SELECT g.objid FROM photoobjall as g JOIN fgetnearbyobjeq(@ra, @dec, @r) as gn on g.objid=gn.objid left outer join specobj s on s.bestobjid=gn.objid",
+		"SELECT p.objid FROM fgetobjfromrect(1, 2, 3, 4) n, photoprimary p WHERE n.objid=p.objid and r between 10 and 20",
+		"SELECT TOP 10 * FROM dbo.fGetNearestObjEq(145.38708, 0.12532, 0.1)",
+		"SELECT name, type FROM DBObjects WHERE type='U' AND name NOT IN ('a', 'b') ORDER BY name",
+		"SELECT DISTINCT a, b FROM t WHERE a LIKE 'x%' GROUP BY a, b HAVING count(*) > 2 ORDER BY a DESC",
+		"SELECT a FROM t1 UNION ALL SELECT a FROM t2",
+		"SELECT CASE WHEN r > 10 THEN 'big' ELSE 'small' END AS sz FROM t",
+		"SELECT * FROM Bugs WHERE assigned_to = NULL",
+		"SELECT e.c FROM (SELECT c FROM u WHERE c > 0) e",
+	}
+	for _, q := range queries {
+		sel1 := mustSelect(t, q)
+		printed := sqlast.Print(sel1, sqlast.PrintOptions{})
+		sel2, err := ParseSelect(printed)
+		if err != nil {
+			t.Errorf("reparse of %q failed: %v", printed, err)
+			continue
+		}
+		again := sqlast.Print(sel2, sqlast.PrintOptions{})
+		if printed != again {
+			t.Errorf("not a fixpoint:\n1st: %s\n2nd: %s", printed, again)
+		}
+		// The canonical (skeleton) forms must also agree.
+		if sqlast.Canonical(sel1) != sqlast.Canonical(sel2) {
+			t.Errorf("canonical mismatch for %q", q)
+		}
+	}
+}
+
+func TestParseCastAndConvert(t *testing.T) {
+	sel := mustSelect(t, "SELECT CAST(ra AS varchar(30)), CAST(objid AS float) FROM t WHERE CAST(x AS int) = 3")
+	c, ok := sel.Items[0].Expr.(*sqlast.CastExpr)
+	if !ok || c.Type != "varchar" || len(c.TypeArgs) != 1 || c.TypeArgs[0] != "30" {
+		t.Fatalf("cast: %#v", sel.Items[0].Expr)
+	}
+	printed := sqlast.Print(sel, sqlast.PrintOptions{})
+	if !strings.Contains(printed, "CAST(ra AS varchar(30))") {
+		t.Errorf("printed: %q", printed)
+	}
+	// CONVERT parses to the same node shape; the style argument is dropped.
+	sel = mustSelect(t, "SELECT CONVERT(varchar(10), ra, 101) FROM t")
+	c, ok = sel.Items[0].Expr.(*sqlast.CastExpr)
+	if !ok || c.Type != "varchar" {
+		t.Fatalf("convert: %#v", sel.Items[0].Expr)
+	}
+	// Round trip through the printer.
+	printed = sqlast.Print(sel, sqlast.PrintOptions{})
+	if _, err := ParseSelect(printed); err != nil {
+		t.Errorf("reparse %q: %v", printed, err)
+	}
+	// Errors.
+	for _, bad := range []string{
+		"SELECT CAST(ra varchar) FROM t",
+		"SELECT CAST(ra AS ) FROM t",
+		"SELECT CONVERT(varchar) FROM t",
+	} {
+		if _, err := ParseSelect(bad); err == nil {
+			t.Errorf("%q: want error", bad)
+		}
+	}
+}
+
+func TestParseTypedDML(t *testing.T) {
+	st, err := Parse("INSERT INTO Sales (saleid, barcode) VALUES (1, 4000000001), (2, 4000000002)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, ok := st.(*sqlast.InsertStatement)
+	if !ok || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("insert: %#v", st)
+	}
+	st, err = Parse("UPDATE InPresence SET count = count - 1, size = 42 WHERE model = 'runner'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd, ok := st.(*sqlast.UpdateStatement)
+	if !ok || len(upd.Set) != 2 || upd.Where == nil {
+		t.Fatalf("update: %#v", st)
+	}
+	st, err = Parse("DELETE FROM Sales WHERE saleid = 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*sqlast.DeleteStatement); !ok {
+		t.Fatalf("delete: %#v", st)
+	}
+}
+
+func TestDMLPrintRoundTrip(t *testing.T) {
+	for _, q := range []string{
+		"INSERT INTO Sales (saleid, barcode) VALUES (1, 2)",
+		"INSERT INTO t VALUES (1, 'x', NULL)",
+		"UPDATE t SET a = a + 1 WHERE b = 'x'",
+		"DELETE FROM t WHERE a BETWEEN 1 AND 2",
+	} {
+		st, err := Parse(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		printed := sqlast.PrintStatement(st, sqlast.PrintOptions{})
+		st2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", printed, err)
+		}
+		again := sqlast.PrintStatement(st2, sqlast.PrintOptions{})
+		if printed != again {
+			t.Errorf("not a fixpoint:\n1: %s\n2: %s", printed, again)
+		}
+	}
+}
+
+func TestUnmodeledDMLDegradesToOther(t *testing.T) {
+	for _, q := range []string{
+		"INSERT INTO t SELECT * FROM u",
+		"UPDATE t SET a = 1 FROM u WHERE t.x = u.x",
+		"DELETE t FROM t JOIN u ON t.x = u.x",
+		"TRUNCATE TABLE t",
+	} {
+		st, err := Parse(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		o, ok := st.(*sqlast.OtherStatement)
+		if !ok || o.Class != sqlast.ClassDML {
+			t.Errorf("%q: %#v", q, st)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package sqlparser
+
+import (
+	"strings"
+
+	"sqlclean/internal/sqltoken"
+)
+
+// SplitStatements splits a batch of SQL statements on top-level semicolons,
+// using the lexer so that semicolons inside string literals, comments or
+// bracketed identifiers do not split. Empty statements are dropped. The
+// returned statements preserve their original text (trimmed).
+func SplitStatements(src string) ([]string, error) {
+	toks, err := sqltoken.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	start := 0
+	flush := func(end int) {
+		s := strings.TrimSpace(src[start:end])
+		if s != "" {
+			out = append(out, s)
+		}
+	}
+	for _, t := range toks {
+		if t.Kind == sqltoken.Op && t.Val == ";" {
+			flush(t.Pos)
+			start = t.Pos + 1
+		}
+	}
+	flush(len(src))
+	return out, nil
+}

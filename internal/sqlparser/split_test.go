@@ -1,0 +1,38 @@
+package sqlparser
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitStatements(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"SELECT 1", []string{"SELECT 1"}},
+		{"SELECT 1; SELECT 2", []string{"SELECT 1", "SELECT 2"}},
+		{"SELECT 1; SELECT 2;", []string{"SELECT 1", "SELECT 2"}},
+		{";;", nil},
+		{"", nil},
+		{"SELECT 'a;b'; SELECT 2", []string{"SELECT 'a;b'", "SELECT 2"}},
+		{"SELECT [a;b] FROM t; SELECT 2", []string{"SELECT [a;b] FROM t", "SELECT 2"}},
+		{"SELECT 1 -- c;omment\n; SELECT 2", []string{"SELECT 1 -- c;omment", "SELECT 2"}},
+		{"SELECT 1 /* a;b */; SELECT 2", []string{"SELECT 1 /* a;b */", "SELECT 2"}},
+	}
+	for _, c := range cases {
+		got, err := SplitStatements(c.in)
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%q: got %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSplitStatementsLexError(t *testing.T) {
+	if _, err := SplitStatements("SELECT 'unterminated"); err == nil {
+		t.Fatal("want lex error")
+	}
+}

@@ -1,0 +1,297 @@
+package sqltoken
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer scans a SQL statement into tokens. Comments are skipped unless
+// KeepComments is set before the first Next call.
+type Lexer struct {
+	src          string
+	pos          int
+	KeepComments bool
+	err          error
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Err returns the first lexical error encountered, if any.
+func (l *Lexer) Err() error { return l.err }
+
+// Tokenize scans the whole input and returns all tokens (excluding EOF and,
+// by default, comments). It returns an error for unterminated strings,
+// comments, or bracketed identifiers.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t := l.Next()
+		if l.err != nil {
+			return out, l.err
+		}
+		if t.Kind == EOF {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
+
+func (l *Lexer) setErr(pos int, format string, args ...any) {
+	if l.err == nil {
+		l.err = fmt.Errorf("sql lex error at byte %d: %s", pos, fmt.Sprintf(format, args...))
+	}
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '#' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || isDigit(c) || c == '$'
+}
+
+// Next returns the next token, or a token with Kind EOF at end of input.
+func (l *Lexer) Next() Token {
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			return Token{Kind: EOF, Pos: l.pos}
+		}
+		start := l.pos
+		c := l.src[l.pos]
+
+		switch {
+		case c == '-' && l.peekAt(1) == '-':
+			text := l.scanLineComment()
+			if l.KeepComments {
+				return Token{Kind: Comment, Val: text, Pos: start}
+			}
+			continue
+		case c == '/' && l.peekAt(1) == '*':
+			text := l.scanBlockComment()
+			if l.err != nil {
+				return Token{Kind: EOF, Pos: l.pos}
+			}
+			if l.KeepComments {
+				return Token{Kind: Comment, Val: text, Pos: start}
+			}
+			continue
+		case c == '\'':
+			return l.scanString()
+		case c == '[':
+			return l.scanBracketIdent()
+		case c == '"':
+			return l.scanQuotedIdent()
+		case c == '@':
+			return l.scanVariable()
+		case isDigit(c) || (c == '.' && isDigit(l.peekAt(1))):
+			return l.scanNumber()
+		case isIdentStart(c):
+			return l.scanWord()
+		default:
+			return l.scanOp()
+		}
+	}
+}
+
+func (l *Lexer) peekAt(off int) byte {
+	if l.pos+off < len(l.src) {
+		return l.src[l.pos+off]
+	}
+	return 0
+}
+
+func (l *Lexer) skipSpace() {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+}
+
+func (l *Lexer) scanLineComment() string {
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *Lexer) scanBlockComment() string {
+	start := l.pos
+	l.pos += 2
+	depth := 1 // T-SQL block comments nest
+	for l.pos < len(l.src) {
+		if l.src[l.pos] == '/' && l.peekAt(1) == '*' {
+			depth++
+			l.pos += 2
+			continue
+		}
+		if l.src[l.pos] == '*' && l.peekAt(1) == '/' {
+			depth--
+			l.pos += 2
+			if depth == 0 {
+				return l.src[start:l.pos]
+			}
+			continue
+		}
+		l.pos++
+	}
+	l.setErr(start, "unterminated block comment")
+	return l.src[start:l.pos]
+}
+
+func (l *Lexer) scanString() Token {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.peekAt(1) == '\'' { // '' escapes a quote
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: String, Val: b.String(), Pos: start}
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	l.setErr(start, "unterminated string literal")
+	return Token{Kind: String, Val: b.String(), Pos: start}
+}
+
+func (l *Lexer) scanBracketIdent() Token {
+	start := l.pos
+	l.pos++ // [
+	end := strings.IndexByte(l.src[l.pos:], ']')
+	if end < 0 {
+		l.setErr(start, "unterminated bracketed identifier")
+		val := l.src[l.pos:]
+		l.pos = len(l.src)
+		return Token{Kind: QuotedIdent, Val: val, Pos: start}
+	}
+	val := l.src[l.pos : l.pos+end]
+	l.pos += end + 1
+	return Token{Kind: QuotedIdent, Val: val, Pos: start}
+}
+
+func (l *Lexer) scanQuotedIdent() Token {
+	start := l.pos
+	l.pos++ // "
+	end := strings.IndexByte(l.src[l.pos:], '"')
+	if end < 0 {
+		l.setErr(start, "unterminated quoted identifier")
+		val := l.src[l.pos:]
+		l.pos = len(l.src)
+		return Token{Kind: QuotedIdent, Val: val, Pos: start}
+	}
+	val := l.src[l.pos : l.pos+end]
+	l.pos += end + 1
+	return Token{Kind: QuotedIdent, Val: val, Pos: start}
+}
+
+func (l *Lexer) scanVariable() Token {
+	start := l.pos
+	l.pos++                 // @
+	if l.peekAt(0) == '@' { // @@rowcount etc.
+		l.pos++
+	}
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos == start+1 {
+		l.setErr(start, "bare '@'")
+	}
+	return Token{Kind: Variable, Val: l.src[start:l.pos], Pos: start}
+}
+
+func (l *Lexer) scanNumber() Token {
+	start := l.pos
+	// hex literal 0x...
+	if l.src[l.pos] == '0' && (l.peekAt(1) == 'x' || l.peekAt(1) == 'X') {
+		l.pos += 2
+		for l.pos < len(l.src) && isHex(l.src[l.pos]) {
+			l.pos++
+		}
+		return Token{Kind: Number, Val: l.src[start:l.pos], Pos: start}
+	}
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.peekAt(0) == '.' {
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	if c := l.peekAt(0); c == 'e' || c == 'E' {
+		save := l.pos
+		l.pos++
+		if c := l.peekAt(0); c == '+' || c == '-' {
+			l.pos++
+		}
+		if isDigit(l.peekAt(0)) {
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		} else {
+			l.pos = save // 'e' belongs to a following identifier
+		}
+	}
+	return Token{Kind: Number, Val: l.src[start:l.pos], Pos: start}
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (l *Lexer) scanWord() Token {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	upper := strings.ToUpper(word)
+	if IsKeyword(upper) {
+		return Token{Kind: Keyword, Val: upper, Pos: start}
+	}
+	return Token{Kind: Ident, Val: word, Pos: start}
+}
+
+var twoByteOps = map[string]bool{
+	"<>": true, "<=": true, ">=": true, "!=": true, "!<": true, "!>": true,
+	"||": true, "+=": true, "-=": true, "*=": true, "/=": true,
+}
+
+func (l *Lexer) scanOp() Token {
+	start := l.pos
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		if twoByteOps[two] {
+			l.pos += 2
+			return Token{Kind: Op, Val: two, Pos: start}
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '=', '<', '>', '+', '-', '*', '/', '%', '.', ',', '(', ')', ';', '&', '|', '^', '~', '!', ':':
+		l.pos++
+		return Token{Kind: Op, Val: string(c), Pos: start}
+	}
+	l.setErr(start, "unexpected character %q", c)
+	l.pos++
+	return Token{Kind: Op, Val: string(c), Pos: start}
+}
+
+// Canon returns the canonical (upper-cased) form of an identifier, used for
+// case-insensitive comparison throughout the framework.
+func Canon(ident string) string { return strings.ToUpper(ident) }

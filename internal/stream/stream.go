@@ -1,0 +1,298 @@
+// Package stream processes a query log incrementally with bounded memory.
+// The batch pipeline (internal/core) holds the whole log; the paper's real
+// subject — a 42-million-entry SkyServer log — wants a streaming pass. The
+// key observation: every detection window (Definition 8) is confined to one
+// user session, so once a user's stream has been silent for longer than the
+// session gap, that session can be detected, solved and emitted without
+// ever seeing the rest of the log. Only the open sessions stay in memory.
+//
+// Input must be time-ordered. Output is emitted session by session, in
+// session-close order. Template statistics accumulate across the whole
+// stream. SWS classification needs global statistics and is therefore
+// reported at Close time only.
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sqlclean/internal/antipattern"
+	"sqlclean/internal/logmodel"
+	"sqlclean/internal/parsedlog"
+	"sqlclean/internal/pattern"
+	"sqlclean/internal/rewrite"
+	"sqlclean/internal/schema"
+	"sqlclean/internal/session"
+	"sqlclean/internal/sqlast"
+)
+
+// Config mirrors the batch pipeline's knobs that make sense per session.
+type Config struct {
+	// Catalog supplies key metadata; nil selects schema.SkyServer().
+	Catalog *schema.Catalog
+	// DuplicateThreshold is the dedup window; zero selects 1 s.
+	DuplicateThreshold time.Duration
+	// SessionGap closes a user's session after this much silence; zero
+	// selects 5 minutes.
+	SessionGap time.Duration
+	// MinRun is the minimum antipattern run length (default 2).
+	MinRun int
+	// DisableKeyCheck drops Definition 11's key-attribute axiom.
+	DisableKeyCheck bool
+	// ExtraRules and ExtraSolvers extend the registry (§5.4).
+	ExtraRules   []antipattern.Rule
+	ExtraSolvers []rewrite.Solver
+}
+
+func (c Config) withDefaults() Config {
+	if c.Catalog == nil {
+		c.Catalog = schema.SkyServer()
+	}
+	if c.DuplicateThreshold == 0 {
+		c.DuplicateThreshold = time.Second
+	}
+	if c.SessionGap == 0 {
+		c.SessionGap = 5 * time.Minute
+	}
+	if c.MinRun < 2 {
+		c.MinRun = 2
+	}
+	return c
+}
+
+// Stats accumulates over the whole stream.
+type Stats struct {
+	In         int // entries offered
+	Selects    int // parsed SELECTs
+	Duplicates int // dropped as duplicates
+	Out        int // entries emitted
+	// Antipatterns aggregates instance counts per kind.
+	Antipatterns map[antipattern.Kind]int
+	// SolvedQueries counts statements consumed by solved instances.
+	SolvedQueries int
+}
+
+// Processor is the streaming pipeline. Not safe for concurrent use.
+type Processor struct {
+	cfg     Config
+	parser  *parsedlog.Parser
+	reg     *antipattern.Registry
+	solvers []rewrite.Solver
+
+	// open holds each user's current session.
+	open map[string]*openSession
+	// lastSeen tracks (user, statement) → last time, for dedup.
+	lastSeen map[dupKey]time.Time
+	// watermark is the max event time seen.
+	watermark time.Time
+
+	// templateCounts accumulate global per-template statistics.
+	templateAgg map[uint64]*templateAgg
+
+	stats Stats
+}
+
+type dupKey struct{ user, stmt string }
+
+type openSession struct {
+	user    string
+	label   string
+	last    time.Time
+	entries parsedlog.Log
+}
+
+type templateAgg struct {
+	skeleton string
+	count    int
+	users    map[string]struct{}
+}
+
+// New returns a streaming processor.
+func New(cfg Config) *Processor {
+	cfg = cfg.withDefaults()
+	reg := antipattern.DefaultRegistry(cfg.Catalog, antipattern.Options{
+		MinRun:           cfg.MinRun,
+		RequireKeyColumn: !cfg.DisableKeyCheck,
+	})
+	for _, r := range cfg.ExtraRules {
+		reg.Register(r)
+	}
+	solvers := rewrite.DefaultSolvers(cfg.Catalog)
+	solvers = append(solvers, cfg.ExtraSolvers...)
+	return &Processor{
+		cfg:         cfg,
+		parser:      parsedlog.NewParser(),
+		reg:         reg,
+		solvers:     solvers,
+		open:        map[string]*openSession{},
+		lastSeen:    map[dupKey]time.Time{},
+		templateAgg: map[uint64]*templateAgg{},
+	}
+}
+
+// Stats returns the accumulated counters.
+func (p *Processor) Stats() Stats { return p.stats }
+
+// OpenSessions returns the number of sessions currently buffered — the
+// memory bound of the stream.
+func (p *Processor) OpenSessions() int { return len(p.open) }
+
+// Add offers one entry (time-ordered input) and returns any cleaned entries
+// whose sessions closed as a consequence. It returns an error when the
+// input goes backwards in time by more than the session gap (the stream's
+// ordering contract).
+func (p *Processor) Add(e logmodel.Entry) (logmodel.Log, error) {
+	p.stats.In++
+	if e.Time.Before(p.watermark.Add(-p.cfg.SessionGap)) {
+		return nil, fmt.Errorf("stream: entry at %v arrived after watermark %v (input must be time-ordered)", e.Time, p.watermark)
+	}
+	if e.Time.After(p.watermark) {
+		p.watermark = e.Time
+	}
+
+	var out logmodel.Log
+
+	pe := p.parser.ParseEntry(e)
+	if pe.Class == sqlast.ClassSelect {
+		// Dedup against the previous occurrence (sliding window).
+		k := dupKey{user: e.User, stmt: e.Statement}
+		prev, seen := p.lastSeen[k]
+		p.lastSeen[k] = e.Time
+		if seen && e.Time.Sub(prev) <= p.cfg.DuplicateThreshold {
+			p.stats.Duplicates++
+		} else {
+			p.stats.Selects++
+			p.recordTemplate(pe)
+			os := p.open[e.User]
+			if os != nil {
+				gap := e.Time.Sub(os.last) > p.cfg.SessionGap
+				labelChange := e.Session != "" && os.label != "" && e.Session != os.label
+				if gap || labelChange {
+					out = append(out, p.closeSession(os)...)
+					delete(p.open, e.User)
+					os = nil
+				}
+			}
+			if os == nil {
+				os = &openSession{user: e.User, label: e.Session}
+				p.open[e.User] = os
+			}
+			os.entries = append(os.entries, pe)
+			os.last = e.Time
+			if e.Session != "" {
+				os.label = e.Session
+			}
+		}
+	}
+
+	// Watermark eviction: every user silent for longer than the gap can be
+	// closed — no future in-order entry can extend those sessions.
+	for user, os := range p.open {
+		if user == e.User {
+			continue
+		}
+		if p.watermark.Sub(os.last) > p.cfg.SessionGap {
+			out = append(out, p.closeSession(os)...)
+			delete(p.open, user)
+		}
+	}
+	sortByTime(out)
+	return out, nil
+}
+
+// Close flushes all open sessions and returns their cleaned entries.
+func (p *Processor) Close() logmodel.Log {
+	var out logmodel.Log
+	users := make([]string, 0, len(p.open))
+	for u := range p.open {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	for _, u := range users {
+		out = append(out, p.closeSession(p.open[u])...)
+		delete(p.open, u)
+	}
+	sortByTime(out)
+	return out
+}
+
+func sortByTime(l logmodel.Log) {
+	sort.SliceStable(l, func(i, j int) bool {
+		if !l[i].Time.Equal(l[j].Time) {
+			return l[i].Time.Before(l[j].Time)
+		}
+		return l[i].Seq < l[j].Seq
+	})
+}
+
+// closeSession runs detection and solving over one finished session.
+func (p *Processor) closeSession(os *openSession) logmodel.Log {
+	idxs := make([]int, len(os.entries))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	sess := session.Session{User: os.user, Indices: idxs}
+	instances := p.reg.Detect(os.entries, []session.Session{sess})
+	if p.stats.Antipatterns == nil {
+		p.stats.Antipatterns = map[antipattern.Kind]int{}
+	}
+	for _, in := range instances {
+		p.stats.Antipatterns[in.Kind]++
+	}
+	res := rewrite.Apply(os.entries, instances, p.solvers)
+	for _, s := range res.Stats {
+		p.stats.SolvedQueries += s.QueriesBefore
+	}
+	p.stats.Out += len(res.Clean)
+	return res.Clean
+}
+
+func (p *Processor) recordTemplate(pe parsedlog.Entry) {
+	fp := pe.Info.Fingerprint
+	a, ok := p.templateAgg[fp]
+	if !ok {
+		a = &templateAgg{skeleton: pe.Info.SkeletonText(), users: map[string]struct{}{}}
+		p.templateAgg[fp] = a
+	}
+	a.count++
+	a.users[pe.User] = struct{}{}
+}
+
+// Templates returns the accumulated per-template statistics, most frequent
+// first. (DistinctWhere is not tracked streaming; SWS classification over
+// these stats is the caller's choice of pattern.SWSOptions.)
+func (p *Processor) Templates() []pattern.TemplateStats {
+	out := make([]pattern.TemplateStats, 0, len(p.templateAgg))
+	for fp, a := range p.templateAgg {
+		out = append(out, pattern.TemplateStats{
+			Fingerprint:    fp,
+			Skeleton:       a.skeleton,
+			Frequency:      a.count,
+			UserPopularity: len(a.users),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Frequency != out[j].Frequency {
+			return out[i].Frequency > out[j].Frequency
+		}
+		return out[i].Skeleton < out[j].Skeleton
+	})
+	return out
+}
+
+// Run streams a whole log through a fresh processor and returns the cleaned
+// log plus the final stats — the convenience one-shot API.
+func Run(l logmodel.Log, cfg Config) (logmodel.Log, Stats, error) {
+	p := New(cfg)
+	var out logmodel.Log
+	for _, e := range l {
+		emitted, err := p.Add(e)
+		if err != nil {
+			return nil, p.Stats(), err
+		}
+		out = append(out, emitted...)
+	}
+	out = append(out, p.Close()...)
+	return out, p.Stats(), nil
+}

@@ -1,0 +1,191 @@
+package stream
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"sqlclean/internal/antipattern"
+	"sqlclean/internal/core"
+	"sqlclean/internal/logmodel"
+	"sqlclean/internal/workload"
+)
+
+func TestStreamMergesStifleRun(t *testing.T) {
+	base := time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC)
+	p := New(Config{})
+	var out logmodel.Log
+	add := func(off time.Duration, user, stmt string) {
+		emitted, err := p.Add(logmodel.Entry{Time: base.Add(off), User: user, Statement: stmt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, emitted...)
+	}
+	add(0, "u", "SELECT name FROM Employees WHERE id = 1")
+	add(time.Second, "u", "SELECT name FROM Employees WHERE id = 2")
+	add(2*time.Second, "u", "SELECT name FROM Employees WHERE id = 3")
+	// Nothing emitted while the session is open.
+	if len(out) != 0 {
+		t.Fatalf("premature emission: %v", out)
+	}
+	out = append(out, p.Close()...)
+	if len(out) != 1 {
+		t.Fatalf("clean: %v", out)
+	}
+	if got := out[0].Statement; got != "SELECT id, name FROM Employees WHERE id IN (1, 2, 3)" {
+		t.Errorf("merged: %q", got)
+	}
+	st := p.Stats()
+	if st.Antipatterns[antipattern.DWStifle] != 1 || st.SolvedQueries != 3 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestStreamSessionClosesOnGap(t *testing.T) {
+	base := time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC)
+	p := New(Config{})
+	out, _ := p.Add(logmodel.Entry{Time: base, User: "u", Statement: "SELECT name FROM Employees WHERE id = 1"})
+	if len(out) != 0 {
+		t.Fatal("early emission")
+	}
+	// 10 minutes later: the previous session closes and is emitted.
+	out, err := p.Add(logmodel.Entry{Time: base.Add(10 * time.Minute), User: "u", Statement: "SELECT name FROM Employees WHERE id = 2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Statement != "SELECT name FROM Employees WHERE id = 1" {
+		t.Fatalf("emitted: %v", out)
+	}
+	if p.OpenSessions() != 1 {
+		t.Errorf("open sessions: %d", p.OpenSessions())
+	}
+}
+
+func TestStreamWatermarkEvictsSilentUsers(t *testing.T) {
+	base := time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC)
+	p := New(Config{})
+	_, _ = p.Add(logmodel.Entry{Time: base, User: "quiet", Statement: "SELECT 1"})
+	// Another user's activity advances the watermark past quiet's gap.
+	out, err := p.Add(logmodel.Entry{Time: base.Add(time.Hour), User: "busy", Statement: "SELECT 2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].User != "quiet" {
+		t.Fatalf("eviction: %v", out)
+	}
+	if p.OpenSessions() != 1 {
+		t.Errorf("open sessions: %d", p.OpenSessions())
+	}
+}
+
+func TestStreamRejectsTimeTravel(t *testing.T) {
+	base := time.Date(2003, 6, 1, 12, 0, 0, 0, time.UTC)
+	p := New(Config{})
+	if _, err := p.Add(logmodel.Entry{Time: base, User: "u", Statement: "SELECT 1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Add(logmodel.Entry{Time: base.Add(-time.Hour), User: "u", Statement: "SELECT 2"}); err == nil {
+		t.Fatal("want ordering error")
+	}
+}
+
+func TestStreamDeduplicates(t *testing.T) {
+	base := time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC)
+	p := New(Config{})
+	_, _ = p.Add(logmodel.Entry{Time: base, User: "u", Statement: "SELECT 1"})
+	_, _ = p.Add(logmodel.Entry{Time: base.Add(200 * time.Millisecond), User: "u", Statement: "SELECT 1"})
+	out := p.Close()
+	if len(out) != 1 || p.Stats().Duplicates != 1 {
+		t.Fatalf("dedup: %v, %+v", out, p.Stats())
+	}
+}
+
+func statementMultiset(l logmodel.Log) map[string]int {
+	m := map[string]int{}
+	for _, e := range l {
+		m[e.Statement]++
+	}
+	return m
+}
+
+// TestStreamMatchesBatchPipeline is the headline equivalence: over the full
+// synthetic workload, the streaming pass must produce the same multiset of
+// cleaned statements as the batch pipeline (modulo SWS handling, which the
+// stream does not apply).
+func TestStreamMatchesBatchPipeline(t *testing.T) {
+	log, _ := workload.Generate(workload.DefaultConfig().Scale(0.4))
+	log.SortStable()
+
+	batch, err := core.Run(log, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, st, err := Run(log, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if st.Duplicates != batch.Dedup.Removed {
+		t.Errorf("duplicates: stream %d, batch %d", st.Duplicates, batch.Dedup.Removed)
+	}
+	mb := statementMultiset(batch.Clean)
+	ms := statementMultiset(streamed)
+	if len(mb) != len(ms) {
+		t.Fatalf("distinct statements: batch %d, stream %d", len(mb), len(ms))
+	}
+	for s, n := range mb {
+		if ms[s] != n {
+			t.Fatalf("statement %q: batch %d, stream %d", s, n, ms[s])
+		}
+	}
+	// Template statistics agree with the batch miner.
+	ts := New(Config{})
+	for _, e := range log {
+		if _, err := ts.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts.Close()
+	streamT := ts.Templates()
+	if len(streamT) != len(batch.Templates) {
+		t.Fatalf("templates: stream %d, batch %d", len(streamT), len(batch.Templates))
+	}
+	batchBySkel := map[string]int{}
+	for _, tt := range batch.Templates {
+		batchBySkel[tt.Skeleton] = tt.Frequency
+	}
+	sort.Slice(streamT, func(i, j int) bool { return streamT[i].Skeleton < streamT[j].Skeleton })
+	for _, tt := range streamT {
+		if batchBySkel[tt.Skeleton] != tt.Frequency {
+			t.Fatalf("template %q: stream %d, batch %d", tt.Skeleton, tt.Frequency, batchBySkel[tt.Skeleton])
+		}
+	}
+}
+
+// TestStreamBoundedMemory checks the memory bound: open sessions never
+// exceed the number of concurrently active users.
+func TestStreamBoundedMemory(t *testing.T) {
+	log, _ := workload.Generate(workload.DefaultConfig().Scale(0.5))
+	log.SortStable()
+	p := New(Config{})
+	maxOpen := 0
+	for _, e := range log {
+		if _, err := p.Add(e); err != nil {
+			t.Fatal(err)
+		}
+		if n := p.OpenSessions(); n > maxOpen {
+			maxOpen = n
+		}
+	}
+	p.Close()
+	users := log.Users()
+	if maxOpen > users {
+		t.Fatalf("open sessions %d exceeded user count %d", maxOpen, users)
+	}
+	// The watermark eviction keeps the working set far below the total
+	// user count on a 5-year log.
+	if maxOpen > users/2 {
+		t.Errorf("weak eviction: %d open of %d users", maxOpen, users)
+	}
+}

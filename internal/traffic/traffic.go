@@ -1,0 +1,206 @@
+// Package traffic computes SkyServer-Traffic-Report-style statistics over a
+// query log — the descriptive companion analyses of the papers the case
+// study builds on (Singh et al., "SkyServer Traffic Report — The First Five
+// Years" [9]; Raddick et al., "Ten Years of SkyServer" [10, 11]): activity
+// per period, user concentration, session shapes, and statement-class
+// composition. These views contextualize antipattern findings: bot-driven
+// traffic dominates volume while humans dominate the distinct-user counts.
+package traffic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sqlclean/internal/logmodel"
+	"sqlclean/internal/parsedlog"
+	"sqlclean/internal/session"
+	"sqlclean/internal/sqlast"
+)
+
+// PeriodStat is activity within one time bucket.
+type PeriodStat struct {
+	Start   time.Time
+	Queries int
+	Users   int
+}
+
+// UserStat is one user's activity.
+type UserStat struct {
+	User    string
+	Queries int
+	// Sessions is the number of bursts (gap-separated) the user produced.
+	Sessions int
+}
+
+// SessionStat summarizes session shapes.
+type SessionStat struct {
+	Count int
+	// MeanLength and MaxLength count queries per session.
+	MeanLength float64
+	MaxLength  int
+	// MeanDuration is the mean time between a session's first and last
+	// query.
+	MeanDuration time.Duration
+}
+
+// Report is the full traffic report.
+type Report struct {
+	Entries  int
+	Users    int
+	Span     time.Duration
+	ByPeriod []PeriodStat
+	TopUsers []UserStat
+	Sessions SessionStat
+	// Classes counts statements per class (select, dml, ddl, exec, error).
+	Classes map[string]int
+	// Concentration is the share of all queries issued by the top 1 % of
+	// users (rounded up) — the "machine download" signature: a handful of
+	// IPs produce most traffic.
+	Concentration float64
+}
+
+// Options configure report computation.
+type Options struct {
+	// Period is the bucketing width for ByPeriod; zero selects 30 days.
+	Period time.Duration
+	// TopN bounds TopUsers; zero selects 10.
+	TopN int
+	// SessionGap splits sessions; zero selects 30 minutes.
+	SessionGap time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Period == 0 {
+		o.Period = 30 * 24 * time.Hour
+	}
+	if o.TopN == 0 {
+		o.TopN = 10
+	}
+	if o.SessionGap == 0 {
+		o.SessionGap = 30 * time.Minute
+	}
+	return o
+}
+
+// Compute builds the traffic report for a time-sorted log.
+func Compute(l logmodel.Log, opt Options) Report {
+	opt = opt.withDefaults()
+	rep := Report{Entries: len(l), Classes: map[string]int{}}
+	if len(l) == 0 {
+		return rep
+	}
+
+	// Statement classes.
+	parsed, _ := parsedlog.Parse(l)
+	for _, pe := range parsed {
+		rep.Classes[pe.Class.String()]++
+	}
+	_ = sqlast.ClassSelect // explicit dependency: classes are sqlast classes
+
+	// Per-period activity.
+	start := l[0].Time
+	rep.Span = l[len(l)-1].Time.Sub(start)
+	type bucket struct {
+		queries int
+		users   map[string]bool
+	}
+	buckets := map[int]*bucket{}
+	perUser := map[string]int{}
+	for _, e := range l {
+		i := int(e.Time.Sub(start) / opt.Period)
+		b, ok := buckets[i]
+		if !ok {
+			b = &bucket{users: map[string]bool{}}
+			buckets[i] = b
+		}
+		b.queries++
+		b.users[e.User] = true
+		perUser[e.User]++
+	}
+	var idxs []int
+	for i := range buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		rep.ByPeriod = append(rep.ByPeriod, PeriodStat{
+			Start:   start.Add(time.Duration(i) * opt.Period),
+			Queries: buckets[i].queries,
+			Users:   len(buckets[i].users),
+		})
+	}
+	rep.Users = len(perUser)
+
+	// Sessions.
+	sessions := session.Build(l, session.Options{MaxGap: opt.SessionGap})
+	rep.Sessions.Count = len(sessions)
+	perUserSessions := map[string]int{}
+	totalLen := 0
+	var totalDur time.Duration
+	for _, s := range sessions {
+		perUserSessions[s.User]++
+		totalLen += s.Len()
+		if s.Len() > rep.Sessions.MaxLength {
+			rep.Sessions.MaxLength = s.Len()
+		}
+		first := l[s.Indices[0]].Time
+		last := l[s.Indices[len(s.Indices)-1]].Time
+		totalDur += last.Sub(first)
+	}
+	if len(sessions) > 0 {
+		rep.Sessions.MeanLength = float64(totalLen) / float64(len(sessions))
+		rep.Sessions.MeanDuration = totalDur / time.Duration(len(sessions))
+	}
+
+	// Top users and concentration.
+	users := make([]UserStat, 0, len(perUser))
+	for u, n := range perUser {
+		users = append(users, UserStat{User: u, Queries: n, Sessions: perUserSessions[u]})
+	}
+	sort.Slice(users, func(i, j int) bool {
+		if users[i].Queries != users[j].Queries {
+			return users[i].Queries > users[j].Queries
+		}
+		return users[i].User < users[j].User
+	})
+	onePct := (len(users) + 99) / 100
+	if onePct < 1 {
+		onePct = 1
+	}
+	topQueries := 0
+	for i := 0; i < onePct && i < len(users); i++ {
+		topQueries += users[i].Queries
+	}
+	rep.Concentration = float64(topQueries) / float64(len(l))
+	if len(users) > opt.TopN {
+		users = users[:opt.TopN]
+	}
+	rep.TopUsers = users
+	return rep
+}
+
+// String renders the report as text.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "entries: %d, users: %d, span: %v\n", r.Entries, r.Users, r.Span.Round(time.Hour))
+	fmt.Fprintf(&b, "classes:")
+	var classNames []string
+	for c := range r.Classes {
+		classNames = append(classNames, c)
+	}
+	sort.Strings(classNames)
+	for _, c := range classNames {
+		fmt.Fprintf(&b, " %s=%d", c, r.Classes[c])
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintf(&b, "sessions: %d (mean %.1f queries, max %d, mean duration %v)\n",
+		r.Sessions.Count, r.Sessions.MeanLength, r.Sessions.MaxLength, r.Sessions.MeanDuration.Round(time.Second))
+	fmt.Fprintf(&b, "top-1%% of users issue %.1f%% of all queries\n", 100*r.Concentration)
+	fmt.Fprintf(&b, "top users:\n")
+	for _, u := range r.TopUsers {
+		fmt.Fprintf(&b, "  %-16s %7d queries in %d sessions\n", u.User, u.Queries, u.Sessions)
+	}
+	return b.String()
+}

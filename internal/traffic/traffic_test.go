@@ -1,0 +1,84 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sqlclean/internal/logmodel"
+	"sqlclean/internal/workload"
+)
+
+func TestComputeEmptyLog(t *testing.T) {
+	rep := Compute(nil, Options{})
+	if rep.Entries != 0 || rep.Users != 0 || len(rep.ByPeriod) != 0 {
+		t.Errorf("empty report: %+v", rep)
+	}
+}
+
+func TestComputeBasic(t *testing.T) {
+	base := time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC)
+	l := logmodel.Log{
+		{Time: base, User: "bot", Statement: "SELECT a FROM t WHERE id = 1"},
+		{Time: base.Add(time.Second), User: "bot", Statement: "SELECT a FROM t WHERE id = 2"},
+		{Time: base.Add(2 * time.Second), User: "bot", Statement: "SELECT a FROM t WHERE id = 3"},
+		{Time: base.Add(40 * 24 * time.Hour), User: "human", Statement: "SELECT count(*) FROM t"},
+		{Time: base.Add(40*24*time.Hour + time.Minute), User: "human", Statement: "INSERT INTO t VALUES (1)"},
+	}
+	rep := Compute(l, Options{})
+	if rep.Entries != 5 || rep.Users != 2 {
+		t.Fatalf("report: %+v", rep)
+	}
+	// Two 30-day buckets.
+	if len(rep.ByPeriod) != 2 || rep.ByPeriod[0].Queries != 3 || rep.ByPeriod[1].Queries != 2 {
+		t.Errorf("periods: %+v", rep.ByPeriod)
+	}
+	if rep.Classes["select"] != 4 || rep.Classes["dml"] != 1 {
+		t.Errorf("classes: %v", rep.Classes)
+	}
+	if rep.Sessions.Count != 2 || rep.Sessions.MaxLength != 3 {
+		t.Errorf("sessions: %+v", rep.Sessions)
+	}
+	if rep.TopUsers[0].User != "bot" || rep.TopUsers[0].Queries != 3 {
+		t.Errorf("top users: %+v", rep.TopUsers)
+	}
+	// 2 users → top 1 % rounds up to 1 user → 3/5 concentration.
+	if rep.Concentration != 0.6 {
+		t.Errorf("concentration: %v", rep.Concentration)
+	}
+	s := rep.String()
+	for _, want := range []string{"entries: 5", "select=4", "top users"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report text missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBotConcentrationOnWorkload(t *testing.T) {
+	l, _ := workload.Generate(workload.DefaultConfig().Scale(0.5))
+	rep := Compute(l, Options{})
+	// The SkyServer reports' signature: a handful of IPs (bots) dominate
+	// traffic volume while humans dominate the user count.
+	if rep.Concentration < 0.1 {
+		t.Errorf("concentration: %v", rep.Concentration)
+	}
+	if rep.Users < 100 {
+		t.Errorf("users: %d", rep.Users)
+	}
+	if rep.TopUsers[0].Queries < 100 {
+		t.Errorf("top user: %+v", rep.TopUsers[0])
+	}
+}
+
+func TestOptionsDefaultsAndTopN(t *testing.T) {
+	l, _ := workload.Generate(workload.DefaultConfig().Scale(0.2))
+	rep := Compute(l, Options{TopN: 3})
+	if len(rep.TopUsers) != 3 {
+		t.Errorf("topN: %d", len(rep.TopUsers))
+	}
+	for i := 1; i < len(rep.TopUsers); i++ {
+		if rep.TopUsers[i-1].Queries < rep.TopUsers[i].Queries {
+			t.Errorf("top users unsorted: %+v", rep.TopUsers)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"sqlclean/internal/logmodel"
+	"sqlclean/internal/schema"
+)
+
+// Retail workload: the paper's Example 7 — a shoe retailer whose BUY
+// procedure issues a fixed sequence of statements per sale. Every sale
+// produces the same three SELECTs (barcode lookup, stock check, price
+// lookup) differing only in parameter values: the canonical *pattern* of
+// Definition 7, a sequence of three query templates. Sales clerks (many
+// users, same procedure) plus ad-hoc browsing noise.
+
+// Additional label kind for retail entries.
+const (
+	KindSale   = "sale"
+	KindBrowse = "browse"
+)
+
+// RetailConfig sizes the retail workload.
+type RetailConfig struct {
+	Seed  int64
+	Start time.Time
+	// Registers is the number of point-of-sale clients (users).
+	Registers int
+	// SalesPerRegister is how many BUY sequences each register runs.
+	SalesPerRegister int
+	// BrowseQueries is the number of ad-hoc statements interleaved.
+	BrowseQueries int
+}
+
+// DefaultRetailConfig returns a ≈2k-entry retail log.
+func DefaultRetailConfig() RetailConfig {
+	return RetailConfig{
+		Seed:             1,
+		Start:            time.Date(2026, 3, 2, 8, 0, 0, 0, time.UTC),
+		Registers:        8,
+		SalesPerRegister: 60,
+		BrowseQueries:    200,
+	}
+}
+
+// RetailCatalog returns the shoe retailer's schema (paper Example 7).
+func RetailCatalog() *schema.Catalog {
+	c := schema.New()
+	c.AddTable("barcodesinfo",
+		schema.Column{Name: "id", Type: "int", Key: true},
+		schema.Column{Name: "model", Type: "string"},
+		schema.Column{Name: "size", Type: "int"},
+	)
+	c.AddTable("inpresence",
+		schema.Column{Name: "model", Type: "string", Key: true},
+		schema.Column{Name: "size", Type: "int"},
+		schema.Column{Name: "count", Type: "int"},
+	)
+	c.AddTable("prices",
+		schema.Column{Name: "model", Type: "string", Key: true},
+		schema.Column{Name: "price", Type: "float"},
+	)
+	c.AddTable("sales",
+		schema.Column{Name: "saleid", Type: "int", Key: true},
+		schema.Column{Name: "barcode", Type: "int"},
+		schema.Column{Name: "seller", Type: "string"},
+	)
+	return c
+}
+
+// GenerateRetail builds the retail log plus ground truth labels (KindSale
+// for BUY-sequence members, KindBrowse for noise).
+func GenerateRetail(cfg RetailConfig) (logmodel.Log, *Truth) {
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2026, 3, 2, 8, 0, 0, 0, time.UTC)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	models := []string{"runner", "trail", "court", "classic", "boot"}
+
+	type item struct {
+		e     logmodel.Entry
+		label Label
+	}
+	var items []item
+	group := 0
+
+	for reg := 0; reg < cfg.Registers; reg++ {
+		user := fmt.Sprintf("pos-%02d", reg+1)
+		t := cfg.Start.Add(time.Duration(rng.Intn(3600)) * time.Second)
+		for s := 0; s < cfg.SalesPerRegister; s++ {
+			group++
+			barcode := 4000000000 + rng.Int63n(999999)
+			model := models[rng.Intn(len(models))]
+			size := 36 + rng.Intn(12)
+			// The BUY procedure: three SELECTs per sale, back to back.
+			stmts := []string{
+				fmt.Sprintf("SELECT model, size FROM BarCodesInfo WHERE id = %d", barcode),
+				fmt.Sprintf("SELECT count FROM InPresence WHERE model = '%s' AND size = %d", model, size),
+				fmt.Sprintf("SELECT price FROM Prices WHERE model = '%s'", model),
+			}
+			for _, stmt := range stmts {
+				t = t.Add(time.Duration(30+rng.Intn(300)) * time.Millisecond)
+				items = append(items, item{
+					e:     logmodel.Entry{Time: t, User: user, Session: fmt.Sprintf("r%d", reg), Rows: 1, Statement: stmt},
+					label: Label{Kind: KindSale, Group: group},
+				})
+			}
+			// Time to the next customer.
+			t = t.Add(time.Duration(30+rng.Intn(600)) * time.Second)
+		}
+	}
+
+	for q := 0; q < cfg.BrowseQueries; q++ {
+		user := fmt.Sprintf("office-%d", 1+rng.Intn(3))
+		t := cfg.Start.Add(time.Duration(rng.Intn(10*3600)) * time.Second)
+		var stmt string
+		switch rng.Intn(3) {
+		case 0:
+			stmt = fmt.Sprintf("SELECT model, count FROM InPresence WHERE count < %d", 1+rng.Intn(5))
+		case 1:
+			stmt = fmt.Sprintf("SELECT count(*) FROM Sales WHERE seller = 'pos-%02d'", 1+rng.Intn(8))
+		default:
+			stmt = fmt.Sprintf("SELECT price FROM Prices WHERE price BETWEEN %d AND %d", 20+rng.Intn(40), 80+rng.Intn(60))
+		}
+		items = append(items, item{
+			e:     logmodel.Entry{Time: t, User: user, Rows: int64(rng.Intn(20)), Statement: stmt},
+			label: Label{Kind: KindBrowse},
+		})
+	}
+
+	sort.SliceStable(items, func(i, j int) bool { return items[i].e.Time.Before(items[j].e.Time) })
+	log := make(logmodel.Log, len(items))
+	truth := &Truth{Labels: make([]Label, len(items))}
+	for i, it := range items {
+		it.e.Seq = int64(i)
+		log[i] = it.e
+		truth.Labels[i] = it.label
+	}
+	return log, truth
+}

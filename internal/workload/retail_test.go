@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"sqlclean/internal/core"
+	"sqlclean/internal/sqlparser"
+)
+
+func TestGenerateRetailDeterministic(t *testing.T) {
+	a, ta := GenerateRetail(DefaultRetailConfig())
+	b, tb := GenerateRetail(DefaultRetailConfig())
+	if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(ta.Labels, tb.Labels) {
+		t.Fatal("retail generation not deterministic")
+	}
+}
+
+func TestRetailStatementsParse(t *testing.T) {
+	l, _ := GenerateRetail(DefaultRetailConfig())
+	for _, e := range l {
+		if _, err := sqlparser.ParseSelect(e.Statement); err != nil {
+			t.Fatalf("%q: %v", e.Statement, err)
+		}
+	}
+}
+
+func TestRetailSaleSequencesDominate(t *testing.T) {
+	cfg := DefaultRetailConfig()
+	l, truth := GenerateRetail(cfg)
+	sales := truth.Count(KindSale)
+	if sales != cfg.Registers*cfg.SalesPerRegister*3 {
+		t.Fatalf("sale statements: %d", sales)
+	}
+	res, err := core.Run(l, core.Config{Catalog: RetailCatalog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The BUY procedure is the paper's Definition 7 pattern: a sequence of
+	// three templates. It must top the mined sequence patterns.
+	if len(res.Sequences) == 0 {
+		t.Fatal("no sequence patterns mined")
+	}
+	var best3 bool
+	for _, sp := range res.Sequences {
+		if len(sp.Signature) == 3 {
+			// Each sale is one instance of the 3-template window.
+			if sp.Frequency >= cfg.Registers*cfg.SalesPerRegister*9/10 {
+				best3 = true
+			}
+			break
+		}
+	}
+	if !best3 {
+		t.Errorf("BUY sequence not dominant: %+v", res.Sequences[:min(3, len(res.Sequences))])
+	}
+	// All registers run it: userPopularity equals the register count.
+	top := res.Sequences[0]
+	if top.UserPopularity != cfg.Registers {
+		t.Errorf("popularity: %d (want %d)", top.UserPopularity, cfg.Registers)
+	}
+}
+
+func TestRetailCatalogValid(t *testing.T) {
+	if err := RetailCatalog().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !RetailCatalog().IsKey("barcodesinfo", "id") {
+		t.Error("barcode id must be a key")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,508 @@
+// Package workload generates deterministic synthetic SkyServer-style query
+// logs with ground-truth labels. It substitutes for the real (non-shippable)
+// 42-million-query SkyServer log of the paper's case study: the generator
+// reproduces the log's *composition* — human spatial searches, web-interface
+// browsing, Stifle bots, dependent (CTH) query chains, sliding-window-search
+// "machine downloads", web-form duplicate reloads and DML/DDL/error noise —
+// with tunable shares, so every experiment exercises the same code paths a
+// real log would.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"sqlclean/internal/logmodel"
+)
+
+// Label records why an entry was generated.
+type Label struct {
+	// Kind is one of the Kind* constants.
+	Kind string
+	// Group ties together the members of one generated pattern instance
+	// (e.g. all queries of one CTH chain share a Group).
+	Group int
+}
+
+// Generator kinds.
+const (
+	KindHuman    = "human"
+	KindWebUI    = "webui"
+	KindDW       = "dw-stifle"
+	KindDS       = "ds-stifle"
+	KindDF       = "df-stifle"
+	KindCTHTrue  = "cth-true"
+	KindCTHFalse = "cth-false"
+	KindSWS      = "sws"
+	KindSNC      = "snc"
+	KindDup      = "duplicate"
+	KindNoise    = "noise"
+)
+
+// Truth is the generator's ground truth: one label per entry, indexed by
+// Entry.Seq.
+type Truth struct {
+	Labels []Label
+}
+
+// Label returns the label of the entry with the given sequence number.
+func (t *Truth) Label(seq int64) Label {
+	if seq < 0 || int(seq) >= len(t.Labels) {
+		return Label{}
+	}
+	return t.Labels[seq]
+}
+
+// Count returns how many entries carry the kind.
+func (t *Truth) Count(kind string) int {
+	n := 0
+	for _, l := range t.Labels {
+		if l.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Config sizes the generated log. All counts scale linearly via Scale.
+type Config struct {
+	Seed  int64
+	Start time.Time
+
+	// Humans issue spatial-search queries: many users, plausible interests.
+	Humans          int
+	QueriesPerHuman int
+	// WebUISessions emulate the SkyServer web interface (DBObjects
+	// browsing, nearest-object lookups).
+	WebUISessions   int
+	QueriesPerWebUI int
+	// StifleBots are proprietary applications issuing object-at-a-time
+	// traffic; each bot issues DWRuns/DSRuns/DFRuns runs of RunLenMin..Max
+	// queries.
+	StifleBots           int
+	DWRuns, DSRuns       int
+	DFRuns               int
+	RunLenMin, RunLenMax int
+	// CTH chains: a head query whose result feeds equality followers.
+	// True chains are genuinely dependent; false chains merely look so.
+	CTHTrueGroups, CTHFalseGroups    int
+	CTHFollowersMin, CTHFollowersMax int
+	// SWS bots download the database piece-wise with marching disjoint
+	// ranges.
+	SWSBots          int
+	QueriesPerSWSBot int
+	// SNCQueries compare columns to NULL with =/<>.
+	SNCQueries int
+	// DuplicateRate is the probability that a human/web query is followed
+	// by an identical reload.
+	DuplicateRate float64
+	// NoiseRate is the share of DML/DDL/erroneous statements, relative to
+	// the SELECT count.
+	NoiseRate float64
+}
+
+// DefaultConfig produces a ≈10k-entry log whose shares mirror the paper's
+// SkyServer findings (≈4 % non-SELECT noise, ≈4–5 % duplicates, ≈20–30 %
+// Stifle traffic, heavyweight SWS templates, a handful of CTH chains).
+func DefaultConfig() Config {
+	return Config{
+		Seed:             1,
+		Start:            time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC),
+		Humans:           60,
+		QueriesPerHuman:  40,
+		WebUISessions:    30,
+		QueriesPerWebUI:  10,
+		StifleBots:       3,
+		DWRuns:           60,
+		DSRuns:           25,
+		DFRuns:           10,
+		RunLenMin:        6,
+		RunLenMax:        14,
+		CTHTrueGroups:    20,
+		CTHFalseGroups:   15,
+		CTHFollowersMin:  3,
+		CTHFollowersMax:  8,
+		SWSBots:          2,
+		QueriesPerSWSBot: 1200,
+		SNCQueries:       20,
+		DuplicateRate:    0.06,
+		NoiseRate:        0.04,
+	}
+}
+
+// Scale multiplies every count by f (minimum 1 where the base is non-zero).
+func (c Config) Scale(f float64) Config {
+	scale := func(n int) int {
+		if n == 0 {
+			return 0
+		}
+		v := int(float64(n) * f)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	c.Humans = scale(c.Humans)
+	c.WebUISessions = scale(c.WebUISessions)
+	// StifleBots stays fixed: more runs, not more bots — few IPs is the point.
+	c.DWRuns = scale(c.DWRuns)
+	c.DSRuns = scale(c.DSRuns)
+	c.DFRuns = scale(c.DFRuns)
+	c.CTHTrueGroups = scale(c.CTHTrueGroups)
+	c.CTHFalseGroups = scale(c.CTHFalseGroups)
+	c.QueriesPerSWSBot = scale(c.QueriesPerSWSBot)
+	c.SNCQueries = scale(c.SNCQueries)
+	return c
+}
+
+type item struct {
+	e     logmodel.Entry
+	label Label
+}
+
+type builder struct {
+	rng   *rand.Rand
+	items []item
+	group int
+}
+
+func (b *builder) nextGroup() int {
+	b.group++
+	return b.group
+}
+
+func (b *builder) emit(t time.Time, user, sess, stmt string, rows int64, label Label) {
+	b.items = append(b.items, item{
+		e:     logmodel.Entry{Time: t, User: user, Session: sess, Rows: rows, Statement: stmt},
+		label: label,
+	})
+}
+
+// Generate builds the log and its ground truth. The same Config (including
+// Seed) always produces the same log.
+func Generate(cfg Config) (logmodel.Log, *Truth) {
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if cfg.RunLenMax < cfg.RunLenMin {
+		cfg.RunLenMax = cfg.RunLenMin
+	}
+	b := &builder{rng: rand.New(rand.NewSource(cfg.Seed))}
+
+	genHumans(b, cfg)
+	genWebUI(b, cfg)
+	genStifleBots(b, cfg)
+	genCTH(b, cfg)
+	genSWS(b, cfg)
+	genSNC(b, cfg)
+	genNoise(b, cfg)
+
+	// Merge all actors into one time-ordered log and assign Seq.
+	sort.SliceStable(b.items, func(i, j int) bool {
+		return b.items[i].e.Time.Before(b.items[j].e.Time)
+	})
+	log := make(logmodel.Log, len(b.items))
+	truth := &Truth{Labels: make([]Label, len(b.items))}
+	for i, it := range b.items {
+		it.e.Seq = int64(i)
+		log[i] = it.e
+		truth.Labels[i] = it.label
+	}
+	return log, truth
+}
+
+// ip produces a deterministic fake IPv4 address.
+func ip(rng *rand.Rand) string {
+	return fmt.Sprintf("%d.%d.%d.%d", 10+rng.Intn(200), rng.Intn(256), rng.Intn(256), 1+rng.Intn(254))
+}
+
+// within returns a random instant inside the 5-year observation window.
+func within(rng *rand.Rand, start time.Time) time.Time {
+	return start.Add(time.Duration(rng.Int63n(int64(5 * 365 * 24 * time.Hour))))
+}
+
+// maybeDuplicate re-emits the last statement as a web-form-reload duplicate.
+// Most duplicates land within 1 s (Table 4's observation); a few straggle.
+func maybeDuplicate(b *builder, cfg Config, t time.Time, user, sess, stmt string, rows int64) time.Time {
+	if b.rng.Float64() >= cfg.DuplicateRate {
+		return t
+	}
+	var gap time.Duration
+	switch r := b.rng.Float64(); {
+	case r < 0.85:
+		gap = time.Duration(100+b.rng.Intn(850)) * time.Millisecond
+	case r < 0.95:
+		gap = time.Duration(1+b.rng.Intn(9)) * time.Second
+	default:
+		gap = time.Duration(30+b.rng.Intn(90)) * time.Second
+	}
+	t = t.Add(gap)
+	b.emit(t, user, sess, stmt, rows, Label{Kind: KindDup})
+	return t
+}
+
+func genHumans(b *builder, cfg Config) {
+	for h := 0; h < cfg.Humans; h++ {
+		user := ip(b.rng)
+		sess := fmt.Sprintf("h%d", h)
+		t := within(b.rng, cfg.Start)
+		// Each human has a home region of the sky.
+		ra := b.rng.Float64() * 360
+		dec := b.rng.Float64()*120 - 60
+		for q := 0; q < cfg.QueriesPerHuman; q++ {
+			t = t.Add(time.Duration(5+b.rng.Intn(120)) * time.Second)
+			var stmt string
+			switch b.rng.Intn(3) {
+			case 0:
+				stmt = fmt.Sprintf(
+					"SELECT g.objid, g.ra, g.dec FROM photoobjall as g JOIN fGetNearbyObjEq(%.5f, %.5f, %.2f) as gn on g.objid=gn.objid LEFT OUTER JOIN specobj s ON s.bestobjid=gn.objid",
+					ra+b.rng.Float64()-0.5, dec+b.rng.Float64()-0.5, 0.5+b.rng.Float64())
+			case 1:
+				stmt = fmt.Sprintf(
+					"SELECT p.objid, p.ra, p.dec, p.r FROM fGetObjFromRect(%.5f, %.5f, %.5f, %.5f) n, photoprimary p WHERE n.objid=p.objid and p.r between %.1f and %.1f",
+					ra, dec, ra+0.5, dec+0.5, 14.0+b.rng.Float64(), 18.0+b.rng.Float64())
+			default:
+				stmt = fmt.Sprintf(
+					"SELECT p.objId, p.ra, p.dec FROM fGetNearbyObjEq(%.5f, %.5f, %.2f) n, photoprimary p WHERE n.objid=p.objid",
+					ra+b.rng.Float64()-0.5, dec+b.rng.Float64()-0.5, 0.2+b.rng.Float64())
+			}
+			rows := int64(b.rng.Intn(500))
+			b.emit(t, user, sess, stmt, rows, Label{Kind: KindHuman})
+			t = maybeDuplicate(b, cfg, t, user, sess, stmt, rows)
+			// Occasionally move to a new region.
+			if b.rng.Float64() < 0.1 {
+				ra = b.rng.Float64() * 360
+				dec = b.rng.Float64()*120 - 60
+				t = t.Add(time.Duration(10+b.rng.Intn(120)) * time.Minute)
+			}
+		}
+	}
+}
+
+func genWebUI(b *builder, cfg Config) {
+	for s := 0; s < cfg.WebUISessions; s++ {
+		user := ip(b.rng)
+		sess := fmt.Sprintf("w%d", s)
+		t := within(b.rng, cfg.Start)
+		for q := 0; q < cfg.QueriesPerWebUI; q++ {
+			t = t.Add(time.Duration(3+b.rng.Intn(60)) * time.Second)
+			var stmt string
+			var rows int64
+			switch b.rng.Intn(3) {
+			case 0:
+				stmt = "SELECT name, type FROM DBObjects WHERE type='U' AND name NOT IN ('LoadEvents', 'QueryResults') ORDER BY name"
+				rows = 80
+			case 1:
+				// Browsing table documentation: description and text are
+				// fetched by separate requests — the DS shape the paper's
+				// biggest DS cluster shows (§6.9).
+				tbl := []string{"Galaxy", "Star", "photoobjall", "specobj"}[b.rng.Intn(4)]
+				col := []string{"description", "text"}[b.rng.Intn(2)]
+				stmt = fmt.Sprintf("SELECT %s FROM DBObjects WHERE name='%s'", col, tbl)
+				rows = 1
+			default:
+				stmt = fmt.Sprintf("SELECT TOP 10 * FROM dbo.fGetNearestObjEq(%.5f, %.5f, 0.1)", b.rng.Float64()*360, b.rng.Float64()*120-60)
+				rows = 1
+			}
+			b.emit(t, user, sess, stmt, rows, Label{Kind: KindWebUI})
+			t = maybeDuplicate(b, cfg, t, user, sess, stmt, rows)
+		}
+	}
+}
+
+func (b *builder) runLen(cfg Config) int {
+	return cfg.RunLenMin + b.rng.Intn(cfg.RunLenMax-cfg.RunLenMin+1)
+}
+
+func genStifleBots(b *builder, cfg Config) {
+	bands := []string{"g", "r", "i"}
+	for bot := 0; bot < cfg.StifleBots; bot++ {
+		user := ip(b.rng)
+		sess := fmt.Sprintf("bot%d", bot)
+		t := within(b.rng, cfg.Start)
+
+		// DW runs: the same template swept over many object ids — the
+		// paper's most frequent antipattern (Table 6 rows 1–3).
+		band := bands[bot%len(bands)]
+		for r := 0; r < cfg.DWRuns; r++ {
+			g := b.nextGroup()
+			n := b.runLen(cfg)
+			for q := 0; q < n; q++ {
+				t = t.Add(time.Duration(50+b.rng.Intn(400)) * time.Millisecond)
+				objid := 587731186000000000 + b.rng.Int63n(1000000000)
+				stmt := fmt.Sprintf("SELECT rowc_%s, colc_%s FROM photoprimary WHERE objid=%d", band, band, objid)
+				b.emit(t, user, sess, stmt, 1, Label{Kind: KindDW, Group: g})
+			}
+			t = t.Add(time.Duration(1+b.rng.Intn(20)) * time.Minute)
+		}
+
+		// DS runs: different select lists over the same object (Table 6
+		// rows 4–5). Each run uses distinct select lists so no statement
+		// repeats within a run (a repeat would be a duplicate, not a
+		// DS-Stifle).
+		dsLists := []string{
+			"rowc_g, colc_g", "rowc_r, colc_r", "rowc_i, colc_i",
+			"ra, dec", "u, z", "flags, status", "type, htmid",
+		}
+		for r := 0; r < cfg.DSRuns; r++ {
+			g := b.nextGroup()
+			n := b.runLen(cfg)
+			if n > len(dsLists) {
+				n = len(dsLists)
+			}
+			objid := 587731186000000000 + b.rng.Int63n(1000000000)
+			for q := 0; q < n; q++ {
+				t = t.Add(time.Duration(50+b.rng.Intn(400)) * time.Millisecond)
+				stmt := fmt.Sprintf("SELECT %s FROM photoprimary WHERE objid=%d", dsLists[q], objid)
+				b.emit(t, user, sess, stmt, 1, Label{Kind: KindDS, Group: g})
+			}
+			t = t.Add(time.Duration(1+b.rng.Intn(20)) * time.Minute)
+		}
+
+		// DF runs: the same object looked up across redundant tables.
+		for r := 0; r < cfg.DFRuns; r++ {
+			g := b.nextGroup()
+			objid := 587731186000000000 + b.rng.Int63n(1000000000)
+			pairs := []string{
+				fmt.Sprintf("SELECT ra, dec FROM photoprimary WHERE objid=%d", objid),
+				fmt.Sprintf("SELECT flags, status FROM photoobjall WHERE objid=%d", objid),
+			}
+			for _, stmt := range pairs {
+				t = t.Add(time.Duration(50+b.rng.Intn(400)) * time.Millisecond)
+				b.emit(t, user, sess, stmt, 1, Label{Kind: KindDF, Group: g})
+			}
+			t = t.Add(time.Duration(1+b.rng.Intn(20)) * time.Minute)
+		}
+	}
+}
+
+func genCTH(b *builder, cfg Config) {
+	followers := func() int {
+		return cfg.CTHFollowersMin + b.rng.Intn(cfg.CTHFollowersMax-cfg.CTHFollowersMin+1)
+	}
+	// True chains come from two proprietary applications (few IPs): the
+	// head's result objids feed the followers immediately.
+	trueUsers := []string{ip(b.rng), ip(b.rng)}
+	tables := []string{"Galaxy", "Star", "photoobjall", "specobj", "photoprimary"}
+	for g := 0; g < cfg.CTHTrueGroups; g++ {
+		user := trueUsers[g%len(trueUsers)]
+		sess := fmt.Sprintf("cth%d", g)
+		t := within(b.rng, cfg.Start)
+		group := b.nextGroup()
+		n := followers()
+		if g%3 == 2 {
+			// Family 2 (paper Table 9): list the database objects, then
+			// fetch the chosen ones' documentation.
+			head := "SELECT name, type FROM DBObjects WHERE type='U' ORDER BY name"
+			b.emit(t, user, sess, head, int64(len(tables)), Label{Kind: KindCTHTrue, Group: group})
+			for q := 0; q < n; q++ {
+				t = t.Add(time.Duration(20+b.rng.Intn(200)) * time.Millisecond)
+				stmt := fmt.Sprintf("SELECT access FROM DBObjects WHERE name='%s'", tables[q%len(tables)])
+				b.emit(t, user, sess, stmt, 1, Label{Kind: KindCTHTrue, Group: group})
+			}
+			continue
+		}
+		// Family 1 (paper Table 10): fetch a range of objids, then ask for
+		// each returned object immediately.
+		lo := b.rng.Int63n(1 << 40)
+		head := fmt.Sprintf("SELECT objid, ra, dec FROM photoprimary WHERE htmid between %d and %d", lo, lo+1000)
+		b.emit(t, user, sess, head, int64(n), Label{Kind: KindCTHTrue, Group: group})
+		base := 587731186000000000 + b.rng.Int63n(1000000000)
+		for q := 0; q < n; q++ {
+			t = t.Add(time.Duration(20+b.rng.Intn(200)) * time.Millisecond)
+			stmt := fmt.Sprintf("SELECT u, g, r, i, z FROM photoprimary WHERE objid=%d", base+int64(q))
+			b.emit(t, user, sess, stmt, 1, Label{Kind: KindCTHTrue, Group: group})
+		}
+	}
+	// False candidates: structurally identical shape, but each from a
+	// different casual user whose follow-up value does not come from the
+	// head result (the user reflected and typed something else). Their user
+	// popularity is high and per-identity frequency low — Fig. 2(d)'s
+	// separation.
+	headCols := []string{"ra", "dec", "r", "u", "z"}
+	followCols := []string{"dec", "flags", "status", "type", "htmid"}
+	for g := 0; g < cfg.CTHFalseGroups; g++ {
+		user := ip(b.rng)
+		sess := fmt.Sprintf("cthf%d", g)
+		t := within(b.rng, cfg.Start)
+		group := b.nextGroup()
+		ra := b.rng.Float64() * 360
+		// Varying the selected and fetched columns yields many distinct
+		// candidate identities, like the paper's 50 hand-checked ones.
+		hc := headCols[g%len(headCols)]
+		fc := followCols[(g/len(headCols))%len(followCols)]
+		head := fmt.Sprintf("SELECT objid, %s FROM photoobjall WHERE ra between %.3f and %.3f", hc, ra, ra+0.5)
+		b.emit(t, user, sess, head, int64(b.rng.Intn(40)), Label{Kind: KindCTHFalse, Group: group})
+		n := 2 + b.rng.Intn(2)
+		for q := 0; q < n; q++ {
+			t = t.Add(time.Duration(10+b.rng.Intn(50)) * time.Second)
+			stmt := fmt.Sprintf("SELECT %s FROM photoobjall WHERE objid=%d", fc, b.rng.Int63n(1<<50))
+			b.emit(t, user, sess, stmt, 1, Label{Kind: KindCTHFalse, Group: group})
+		}
+	}
+}
+
+func genSWS(b *builder, cfg Config) {
+	for bot := 0; bot < cfg.SWSBots; bot++ {
+		user := ip(b.rng)
+		sess := fmt.Sprintf("sws%d", bot)
+		t := within(b.rng, cfg.Start)
+		window := int64(100000)
+		pos := int64(0)
+		for q := 0; q < cfg.QueriesPerSWSBot; q++ {
+			t = t.Add(time.Duration(500+b.rng.Intn(3000)) * time.Millisecond)
+			var stmt string
+			if bot%2 == 0 {
+				stmt = fmt.Sprintf("SELECT count(*) FROM photoprimary WHERE htmid>=%d and htmid<=%d", pos, pos+window-1)
+			} else {
+				stmt = fmt.Sprintf("SELECT objid, ra, dec FROM photoprimary WHERE htmid>=%d and htmid<=%d", pos, pos+window-1)
+			}
+			pos += window // disjoint marching windows
+			b.emit(t, user, sess, stmt, int64(b.rng.Intn(1000)), Label{Kind: KindSWS})
+			// A long download pauses now and then.
+			if b.rng.Float64() < 0.01 {
+				t = t.Add(time.Duration(10+b.rng.Intn(50)) * time.Minute)
+			}
+		}
+	}
+}
+
+func genSNC(b *builder, cfg Config) {
+	for q := 0; q < cfg.SNCQueries; q++ {
+		user := ip(b.rng)
+		t := within(b.rng, cfg.Start)
+		op := "="
+		not := ""
+		if q%2 == 1 {
+			op = "<>"
+			not = "NOT "
+		}
+		_ = not
+		stmt := fmt.Sprintf("SELECT objid FROM photoprimary WHERE flags %s NULL", op)
+		b.emit(t, user, fmt.Sprintf("snc%d", q), stmt, 0, Label{Kind: KindSNC})
+	}
+}
+
+func genNoise(b *builder, cfg Config) {
+	// NoiseRate is relative to what has been generated so far (the SELECT
+	// traffic).
+	n := int(float64(len(b.items)) * cfg.NoiseRate)
+	noise := []string{
+		"INSERT INTO MyTable VALUES (1, 2, 3)",
+		"UPDATE MyTable SET a = 1 WHERE b = 2",
+		"DELETE FROM MyTable WHERE a = 1",
+		"CREATE TABLE #results (objid bigint)",
+		"DROP TABLE #results",
+		"EXEC spGetNeighbors 12345",
+		"SELECT FROM photoprimary",          // syntax error
+		"SELECT objid FROM WHERE objid = 1", // syntax error
+	}
+	for q := 0; q < n; q++ {
+		user := ip(b.rng)
+		t := within(b.rng, cfg.Start)
+		stmt := noise[b.rng.Intn(len(noise))]
+		b.emit(t, user, "", stmt, -1, Label{Kind: KindNoise})
+	}
+}

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"sqlclean/internal/sqlast"
+	"sqlclean/internal/sqlparser"
+)
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	l1, t1 := Generate(cfg)
+	l2, t2 := Generate(cfg)
+	if !reflect.DeepEqual(l1, l2) {
+		t.Fatal("same config must generate the same log")
+	}
+	if !reflect.DeepEqual(t1.Labels, t2.Labels) {
+		t.Fatal("same config must generate the same truth")
+	}
+}
+
+func TestSeedChangesLog(t *testing.T) {
+	cfg := DefaultConfig()
+	l1, _ := Generate(cfg)
+	cfg.Seed = 99
+	l2, _ := Generate(cfg)
+	if len(l1) == len(l2) && reflect.DeepEqual(l1, l2) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestLogIsTimeOrderedWithSeq(t *testing.T) {
+	l, _ := Generate(DefaultConfig())
+	for i := 1; i < len(l); i++ {
+		if l[i].Time.Before(l[i-1].Time) {
+			t.Fatalf("entry %d out of order", i)
+		}
+		if l[i].Seq != int64(i) {
+			t.Fatalf("seq %d != %d", l[i].Seq, i)
+		}
+	}
+}
+
+func TestTruthCoversEveryEntry(t *testing.T) {
+	l, truth := Generate(DefaultConfig())
+	if len(truth.Labels) != len(l) {
+		t.Fatalf("labels %d, entries %d", len(truth.Labels), len(l))
+	}
+	for _, lab := range truth.Labels {
+		if lab.Kind == "" {
+			t.Fatal("unlabeled entry")
+		}
+	}
+}
+
+func TestAllKindsPresent(t *testing.T) {
+	_, truth := Generate(DefaultConfig())
+	for _, k := range []string{
+		KindHuman, KindWebUI, KindDW, KindDS, KindDF,
+		KindCTHTrue, KindCTHFalse, KindSWS, KindSNC, KindDup, KindNoise,
+	} {
+		if truth.Count(k) == 0 {
+			t.Errorf("kind %s absent", k)
+		}
+	}
+}
+
+func TestCompositionSharesRoughlyMatchPaper(t *testing.T) {
+	l, truth := Generate(DefaultConfig())
+	total := float64(len(l))
+	noise := float64(truth.Count(KindNoise)) / total
+	if noise < 0.02 || noise > 0.07 {
+		t.Errorf("noise share: %.3f", noise)
+	}
+	dups := float64(truth.Count(KindDup)) / total
+	if dups < 0.01 || dups > 0.08 {
+		t.Errorf("duplicate share: %.3f", dups)
+	}
+	stifle := float64(truth.Count(KindDW)+truth.Count(KindDS)+truth.Count(KindDF)) / total
+	if stifle < 0.10 || stifle > 0.45 {
+		t.Errorf("stifle share: %.3f", stifle)
+	}
+}
+
+func TestGeneratedSelectsParse(t *testing.T) {
+	l, truth := Generate(DefaultConfig())
+	for i, e := range l {
+		kind := truth.Labels[i].Kind
+		if kind == KindNoise {
+			continue // noise intentionally includes DML and broken SQL
+		}
+		if _, err := sqlparser.Parse(e.Statement); err != nil {
+			t.Fatalf("%s statement does not parse: %q: %v", kind, e.Statement, err)
+		}
+	}
+}
+
+func TestNoiseContainsErrorsAndDML(t *testing.T) {
+	l, truth := Generate(DefaultConfig())
+	classes := map[sqlast.StatementClass]int{}
+	for i, e := range l {
+		if truth.Labels[i].Kind != KindNoise {
+			continue
+		}
+		classes[sqlparser.Classify(e.Statement)]++
+	}
+	if classes[sqlast.ClassDML] == 0 || classes[sqlast.ClassError] == 0 {
+		t.Errorf("noise classes: %v", classes)
+	}
+}
+
+func TestScale(t *testing.T) {
+	small, _ := Generate(DefaultConfig().Scale(0.5))
+	base, _ := Generate(DefaultConfig())
+	big, _ := Generate(DefaultConfig().Scale(2))
+	if !(len(small) < len(base) && len(base) < len(big)) {
+		t.Errorf("sizes: %d %d %d", len(small), len(base), len(big))
+	}
+	// Zero counts stay zero, non-zero stay at least 1.
+	cfg := DefaultConfig()
+	cfg.SWSBots = 0
+	scaled := cfg.Scale(0.001)
+	if scaled.SWSBots != 0 || scaled.Humans < 1 {
+		t.Errorf("scale floor: %+v", scaled)
+	}
+}
+
+func TestDuplicatesFollowTheirOriginal(t *testing.T) {
+	l, truth := Generate(DefaultConfig())
+	for i := range l {
+		if truth.Labels[i].Kind != KindDup {
+			continue
+		}
+		// A duplicate repeats some earlier statement by the same user.
+		found := false
+		for j := i - 1; j >= 0 && j >= i-50; j-- {
+			if l[j].User == l[i].User && l[j].Statement == l[i].Statement {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("duplicate at %d has no nearby original", i)
+		}
+	}
+}
+
+func TestCTHGroupsAreDependentChains(t *testing.T) {
+	l, truth := Generate(DefaultConfig())
+	groups := map[int][]int{}
+	for i := range l {
+		lab := truth.Labels[i]
+		if lab.Kind == KindCTHTrue {
+			groups[lab.Group] = append(groups[lab.Group], i)
+		}
+	}
+	if len(groups) == 0 {
+		t.Fatal("no true CTH groups")
+	}
+	for g, idxs := range groups {
+		if len(idxs) < 2 {
+			t.Errorf("group %d has %d members", g, len(idxs))
+		}
+		user := l[idxs[0]].User
+		for _, i := range idxs {
+			if l[i].User != user {
+				t.Errorf("group %d spans users", g)
+			}
+		}
+	}
+}
+
+func TestTruthLabelOutOfRange(t *testing.T) {
+	_, truth := Generate(DefaultConfig())
+	if truth.Label(-1).Kind != "" || truth.Label(1<<40).Kind != "" {
+		t.Error("out-of-range labels must be empty")
+	}
+}
