@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check build test race bench vet
+
+# Default: everything the CI gate runs.
+check: vet test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency tests (parsedlog hammer, core determinism) are only
+# meaningful under the race detector.
+race:
+	$(GO) test -race ./...
+
+# Benchmarks of record: parse/pipeline scaling across worker counts plus the
+# seed-cost baseline (see DESIGN.md, "Parallel execution").
+bench:
+	$(GO) test -bench 'BenchmarkParseParallel|BenchmarkPipelineParallel|BenchmarkPipelineSeedSerial' -benchmem -run '^$$' .
+
+vet:
+	$(GO) vet ./...

@@ -6,6 +6,7 @@
 package sqlclean_test
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -61,7 +62,7 @@ func benchSetup(b *testing.B) (logmodel.Log, *core.Result) {
 func BenchmarkTable4DedupThreshold(b *testing.B) {
 	log, _ := benchSetup(b)
 	parsed, _ := parsedlog.Parse(log)
-	selects := parsed.Selects().Raw()
+	selects := parsed.SelectsRaw()
 	for _, th := range []struct {
 		name string
 		d    time.Duration
@@ -521,7 +522,7 @@ func BenchmarkAblationKeyCheck(b *testing.B) {
 func BenchmarkAblationDedupStrategy(b *testing.B) {
 	log, _ := benchSetup(b)
 	parsed, _ := parsedlog.Parse(log)
-	selects := parsed.Selects().Raw()
+	selects := parsed.SelectsRaw()
 
 	b.Run("hash-window", func(b *testing.B) {
 		b.ReportAllocs()
@@ -632,6 +633,68 @@ func BenchmarkParsedLogCache(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pl, st := parsedlog.Parse(log)
 		if st.Selects == 0 || len(pl) != len(log) {
+			b.Fatal("bad parse")
+		}
+	}
+}
+
+// BenchmarkParseParallel measures the sharded concurrent parser at several
+// worker counts against the same log; workers=1 is the serial fallback. On
+// multi-core hosts the speedup approaches the worker count until the memory
+// bus saturates; on a single-core host all rows collapse to the serial cost.
+func BenchmarkParseParallel(b *testing.B) {
+	log, _ := benchSetup(b)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pl, st := parsedlog.ParseParallel(log, w)
+				if st.Selects == 0 || len(pl) != len(log) {
+					b.Fatal("bad parse")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineParallel measures the full pipeline at several worker
+// counts (workers=1 is the serial path), making the serial-vs-parallel
+// crossover visible in BENCH snapshots. Compare against the seed's
+// BenchmarkTable5Pipeline for the total win: the single-parse rework speeds
+// up every worker count, and parallelism stacks on top where cores exist.
+func BenchmarkPipelineParallel(b *testing.B) {
+	log, _ := benchSetup(b)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(log, core.Config{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Report.FinalSize == 0 {
+					b.Fatal("empty clean log")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineSeedSerial reproduces the seed pipeline's cost — the new
+// serial run plus the fresh-cache re-parse of the pre-clean log the seed's
+// stage 3 performed — so the algorithmic part of the PipelineParallel win
+// stays measurable after the seed code is gone.
+func BenchmarkPipelineSeedSerial(b *testing.B) {
+	log, _ := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(log, core.Config{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reparsed, _ := parsedlog.Parse(res.PreClean)
+		if len(reparsed) == 0 {
 			b.Fatal("bad parse")
 		}
 	}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	sqlclean [-dup 1s] [-gap 5m] [-no-key-check] [-no-users]
+//	sqlclean [-dup 1s] [-gap 5m] [-no-key-check] [-no-users] [-workers 0]
 //	         [-clean out.tsv] [-removal out.tsv] [-top 15] log.tsv
 //
 // With no file argument the log is read from stdin.
@@ -34,6 +34,7 @@ func main() {
 		removalOut = flag.String("removal", "", "write the removal log (antipatterns dropped) to this file")
 		jsonOut    = flag.String("json", "", "write the full analysis (report, templates, instances) as JSON to this file")
 		streaming  = flag.Bool("stream", false, "bounded-memory streaming mode (TSV input only): sessions are cleaned and written as they close")
+		workers    = flag.Int("workers", 0, "parallelism for the parse/detect stages: 0 = all CPUs, 1 = serial")
 		top        = flag.Int("top", 15, "number of top patterns/antipatterns to print")
 	)
 	flag.Parse()
@@ -86,6 +87,7 @@ func main() {
 		SessionGap:         *gap,
 		DisableKeyCheck:    *noKeyCheck,
 		SolveToFixpoint:    *fixpoint,
+		Workers:            *workers,
 	}
 	res, err := sqlclean.Clean(log, cfg)
 	if err != nil {

@@ -9,6 +9,7 @@ package antipattern
 import (
 	"sort"
 
+	"sqlclean/internal/parallel"
 	"sqlclean/internal/parsedlog"
 	"sqlclean/internal/schema"
 	"sqlclean/internal/session"
@@ -110,11 +111,29 @@ func (r *Registry) Rules() []Rule { return r.rules }
 // ordered by the position of their first member query (the paper's "solving
 // starts with the antipattern which appears in the log first", §5.5).
 func (r *Registry) Detect(pl parsedlog.Log, sessions []session.Session) []Instance {
-	var out []Instance
-	for _, sess := range sessions {
+	return r.DetectParallel(pl, sessions, 1)
+}
+
+// DetectParallel is Detect fanned out over up to `workers` goroutines
+// (0 selects GOMAXPROCS, 1 is the serial path). Sessions are independent
+// detection units — Definition 8 scopes every pattern instance to a single
+// session — so each session's rule scan runs on whichever worker is free,
+// and the per-session results are merged back in session order before the
+// same stable sort Detect applies. The output is therefore identical to the
+// serial result. Rules must be safe for concurrent use; the built-in rules
+// are stateless and qualify, custom Config.ExtraRules must not mutate shared
+// state during Detect.
+func (r *Registry) DetectParallel(pl parsedlog.Log, sessions []session.Session, workers int) []Instance {
+	perSession := parallel.Map(workers, sessions, func(_ int, sess session.Session) []Instance {
+		var found []Instance
 		for _, rule := range r.rules {
-			out = append(out, rule.Detect(pl, sess)...)
+			found = append(found, rule.Detect(pl, sess)...)
 		}
+		return found
+	})
+	var out []Instance
+	for _, found := range perSession {
+		out = append(out, found...)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		return out[i].Indices[0] < out[j].Indices[0]

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"sqlclean/internal/workload"
+)
+
+// TestRunParallelDeterminism is the acceptance test for the parallel
+// pipeline: a run with Workers: 8 must be byte-identical to the serial run
+// (Workers: 1) — same report, same clean and removal logs, same instances in
+// the same order, same templates — across several configurations that
+// exercise the fixpoint and SWS re-parse paths too.
+func TestRunParallelDeterminism(t *testing.T) {
+	log, _ := workload.Generate(workload.DefaultConfig().Scale(0.2))
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"default", Config{}},
+		{"fixpoint", Config{SolveToFixpoint: true}},
+		{"sws-exclude", Config{SWSMode: SWSExclude}},
+		{"sws-union", Config{SWSMode: SWSUnion}},
+		{"no-dedup", Config{NoDedup: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serialCfg := tc.cfg
+			serialCfg.Workers = 1
+			parallelCfg := tc.cfg
+			parallelCfg.Workers = 8
+
+			serial, err := Run(log, serialCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := Run(log, parallelCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(serial.Report, par.Report) {
+				t.Errorf("Report differs:\nserial:   %+v\nparallel: %+v", serial.Report, par.Report)
+			}
+			if !reflect.DeepEqual(serial.Clean, par.Clean) {
+				t.Errorf("Clean log differs (serial %d entries, parallel %d)", len(serial.Clean), len(par.Clean))
+			}
+			if !reflect.DeepEqual(serial.Removal, par.Removal) {
+				t.Errorf("Removal log differs")
+			}
+			if !reflect.DeepEqual(serial.Instances, par.Instances) {
+				t.Errorf("Instances differ (serial %d, parallel %d)", len(serial.Instances), len(par.Instances))
+			}
+			if !reflect.DeepEqual(serial.Templates, par.Templates) {
+				t.Errorf("Templates differ")
+			}
+			if !reflect.DeepEqual(serial.Sequences, par.Sequences) {
+				t.Errorf("Sequences differ")
+			}
+			if !reflect.DeepEqual(serial.SWS, par.SWS) {
+				t.Errorf("SWS classification differs")
+			}
+			if !reflect.DeepEqual(serial.PreClean, par.PreClean) {
+				t.Errorf("PreClean differs")
+			}
+		})
+	}
+}
+
+// TestRunSingleParse pins the double-parse fix: the pre-clean log's parse
+// results must be the stage-1 results carried through dedup by index (shared
+// *skeleton.Info pointers), not a fresh re-parse.
+func TestRunSingleParse(t *testing.T) {
+	l := mkLog(
+		"SELECT E.name FROM Employees E WHERE E.id = 12",
+		"SELECT E.name FROM Employees E WHERE E.id = 12",
+		"SELECT E.name FROM Employees E WHERE E.id = 15",
+	)
+	res, err := Run(l, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parsed) != len(res.PreClean) {
+		t.Fatalf("parsed/pre-clean length mismatch: %d vs %d", len(res.Parsed), len(res.PreClean))
+	}
+	for i := range res.Parsed {
+		if res.Parsed[i].Statement != res.PreClean[i].Statement {
+			t.Fatalf("entry %d: parsed statement %q does not match pre-clean %q",
+				i, res.Parsed[i].Statement, res.PreClean[i].Statement)
+		}
+	}
+	// Identical statement texts share one Info even across the dedup cut.
+	byStmt := map[string]int{}
+	for i, pe := range res.Parsed {
+		if pe.Info == nil {
+			continue
+		}
+		if j, ok := byStmt[pe.Statement]; ok && res.Parsed[j].Info != pe.Info {
+			t.Fatalf("statement %q parsed more than once", pe.Statement)
+		}
+		byStmt[pe.Statement] = i
+	}
+}

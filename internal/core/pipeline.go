@@ -69,6 +69,13 @@ type Config struct {
 	// MaxSequenceLen bounds multi-template sequence mining (default 3;
 	// values below 2 disable sequence mining).
 	MaxSequenceLen int
+	// Workers is the degree of parallelism for the embarrassingly parallel
+	// stages (statement parsing, per-session antipattern detection,
+	// per-template SWS classification): 0 selects runtime.GOMAXPROCS, 1
+	// forces the serial path, n > 1 uses n workers. Results are identical
+	// for every value — only wall-clock time changes. With Workers != 1,
+	// custom ExtraRules must be safe for concurrent use.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -206,24 +213,30 @@ func Run(input logmodel.Log, cfg Config) (*Result, error) {
 	res.Report.SizeOriginal = len(res.Original)
 
 	// Stage 1+2: parse (classify) and keep SELECTs, then delete duplicates.
-	parsedAll, pstats := parsedlog.Parse(res.Original)
+	// One parser is shared by every stage of the run, so a statement text is
+	// parsed exactly once no matter how many passes see it.
+	parser := parsedlog.NewParser()
+	parsedAll, pstats := parser.ParseParallel(res.Original, cfg.Workers)
 	res.Report.CountDML = pstats.DML
 	res.Report.CountDDL = pstats.DDL
 	res.Report.CountExec = pstats.Exec
 	res.Report.CountErrors = pstats.Errors
 	res.Report.CountSelect = pstats.Selects
 
-	selects := parsedAll.Selects().Raw()
+	// Stage 3: the parsed pre-clean log. Dedup reports which entries it
+	// kept, so the stage-1 parse results are carried through by index — the
+	// pre-clean log is never re-parsed.
+	selParsed := parsedAll.Selects()
 	if cfg.NoDedup {
-		res.PreClean = selects
+		res.PreClean = selParsed.Raw()
+		res.Parsed = selParsed
 	} else {
-		res.PreClean, res.Dedup = dedup.Remove(selects, cfg.DuplicateThreshold)
+		var kept []int
+		res.PreClean, kept, res.Dedup = dedup.RemoveIndexed(selParsed.Raw(), cfg.DuplicateThreshold)
+		res.Parsed = selParsed.Subset(kept)
 	}
 	res.Report.DuplicatesFound = res.Dedup.Removed
 	res.Report.SizeAfterDedup = len(res.PreClean)
-
-	// Stage 3: parsed query log (cache makes the re-parse cheap).
-	res.Parsed, _ = parsedlog.Parse(res.PreClean)
 
 	// Stage 4: sessions, templates, patterns.
 	gap := cfg.SessionGap
@@ -239,7 +252,7 @@ func Run(input logmodel.Log, cfg Config) (*Result, error) {
 	if cfg.MaxSequenceLen >= 2 {
 		res.Sequences = pattern.Sequences(res.Parsed, res.Sessions, cfg.MaxSequenceLen)
 	}
-	res.SWS = pattern.ClassifySWS(res.Templates, len(res.PreClean), cfg.SWS)
+	res.SWS = pattern.ClassifySWSParallel(res.Templates, len(res.PreClean), cfg.SWS, cfg.Workers)
 	for _, t := range res.Templates {
 		if res.SWS[t.Fingerprint] {
 			res.Report.SWSTemplates++
@@ -255,7 +268,7 @@ func Run(input logmodel.Log, cfg Config) (*Result, error) {
 	for _, r := range cfg.ExtraRules {
 		reg.Register(r)
 	}
-	res.Instances = reg.Detect(res.Parsed, res.Sessions)
+	res.Instances = reg.DetectParallel(res.Parsed, res.Sessions, cfg.Workers)
 	res.Report.AntipatternSummary = antipattern.Summarize(res.Instances)
 	inAnti := map[int]bool{}
 	for _, in := range res.Instances {
@@ -280,12 +293,14 @@ func Run(input logmodel.Log, cfg Config) (*Result, error) {
 		res.Report.SolvePasses = 1
 
 		// §5.5: merged statements can in rare cases form new solvable
-		// antipatterns; optionally iterate to a fixpoint.
+		// antipatterns; optionally iterate to a fixpoint. The shared parser
+		// makes each pass parse only the statements the previous pass
+		// changed — everything else is a cache hit.
 		if cfg.SolveToFixpoint {
 			for pass := 1; pass < cfg.MaxSolvePasses; pass++ {
-				parsed, _ := parsedlog.Parse(res.Clean)
+				parsed, _ := parser.ParseParallel(res.Clean, cfg.Workers)
 				sessions := session.Build(res.Clean, session.Options{MaxGap: gap, SplitOnLabel: true})
-				instances := reg.Detect(parsed, sessions)
+				instances := reg.DetectParallel(parsed, sessions, cfg.Workers)
 				next := rewrite.Apply(parsed, instances, solvers)
 				if len(next.Clean) == len(res.Clean) {
 					break
@@ -299,15 +314,16 @@ func Run(input logmodel.Log, cfg Config) (*Result, error) {
 
 	// §6.5: optional SWS treatment of the clean log.
 	if cfg.SWSMode != SWSKeep && len(res.SWS) > 0 {
-		res.Clean = applySWSMode(res.Clean, res.SWS, cfg.SWSMode)
+		res.Clean = applySWSMode(res.Clean, res.SWS, cfg.SWSMode, parser, cfg.Workers)
 	}
 	res.Report.FinalSize = len(res.Clean)
 	return res, nil
 }
 
-// applySWSMode drops or unions the clean log's SWS-template queries.
-func applySWSMode(clean logmodel.Log, sws map[uint64]bool, mode SWSMode) logmodel.Log {
-	parsed, _ := parsedlog.Parse(clean)
+// applySWSMode drops or unions the clean log's SWS-template queries. The
+// run's shared parser makes the lookup parse only rewritten statements.
+func applySWSMode(clean logmodel.Log, sws map[uint64]bool, mode SWSMode, parser *parsedlog.Parser, workers int) logmodel.Log {
+	parsed, _ := parser.ParseParallel(clean, workers)
 
 	// Group SWS entries per fingerprint, in log order.
 	groups := map[uint64][]int{}

@@ -37,22 +37,37 @@ type dupKey struct {
 // by a 1 s threshold. The input must be sorted by (Time, Seq); the output
 // preserves order.
 func Remove(l logmodel.Log, threshold time.Duration) (logmodel.Log, Result) {
+	out, _, res := remove(l, threshold, false)
+	return out, res
+}
+
+// RemoveIndexed is Remove plus the indices (into the input) of the kept
+// entries, so callers can carry parallel per-entry annotations — e.g. a
+// parsed log — through deduplication without recomputing them.
+func RemoveIndexed(l logmodel.Log, threshold time.Duration) (logmodel.Log, []int, Result) {
+	return remove(l, threshold, true)
+}
+
+func remove(l logmodel.Log, threshold time.Duration, wantIndices bool) (logmodel.Log, []int, Result) {
 	last := make(map[dupKey]time.Time, len(l)/2+1)
 	out := make(logmodel.Log, 0, len(l))
+	var kept []int
+	if wantIndices {
+		kept = make([]int, 0, len(l))
+	}
 	res := Result{Threshold: threshold}
-	for _, e := range l {
+	for i, e := range l {
 		k := dupKey{user: e.User, stmt: e.Statement}
 		prev, seen := last[k]
 		last[k] = e.Time
-		if !seen {
-			out = append(out, e)
-			continue
-		}
-		if threshold == Unrestricted || e.Time.Sub(prev) <= threshold {
+		if seen && (threshold == Unrestricted || e.Time.Sub(prev) <= threshold) {
 			res.Removed++
 			continue
 		}
 		out = append(out, e)
+		if wantIndices {
+			kept = append(kept, i)
+		}
 	}
-	return out, res
+	return out, kept, res
 }

@@ -129,3 +129,39 @@ func TestEmptyLog(t *testing.T) {
 		t.Fatal("empty log mishandled")
 	}
 }
+
+func TestRemoveIndexed(t *testing.T) {
+	l := logmodel.Log{
+		mk("u", "A", 0),
+		mk("u", "A", time.Second/2), // duplicate of index 0
+		mk("u", "B", time.Second),
+		mk("v", "A", 2*time.Second), // other user: kept
+		mk("u", "B", 10*time.Second), // outside window: kept
+	}
+	out, kept, res := RemoveIndexed(l, time.Second)
+	wantKept := []int{0, 2, 3, 4}
+	if res.Removed != 1 {
+		t.Fatalf("removed = %d, want 1", res.Removed)
+	}
+	if len(kept) != len(wantKept) {
+		t.Fatalf("kept = %v, want %v", kept, wantKept)
+	}
+	for i, idx := range wantKept {
+		if kept[i] != idx {
+			t.Fatalf("kept = %v, want %v", kept, wantKept)
+		}
+		if out[i] != l[idx] {
+			t.Fatalf("out[%d] = %+v, want input index %d", i, out[i], idx)
+		}
+	}
+	// RemoveIndexed and Remove agree entry for entry.
+	plain, pres := Remove(l, time.Second)
+	if pres != res {
+		t.Fatalf("results differ: %+v vs %+v", pres, res)
+	}
+	for i := range plain {
+		if plain[i] != out[i] {
+			t.Fatalf("entry %d differs between Remove and RemoveIndexed", i)
+		}
+	}
+}

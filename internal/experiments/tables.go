@@ -20,7 +20,7 @@ import (
 // the paper's Table 4 (most duplicates are caught already at 1 s).
 func runTable4(e *env) {
 	parsed, _ := parsedlog.Parse(e.log)
-	selects := parsed.Selects().Raw()
+	selects := parsed.SelectsRaw()
 	fmt.Fprintf(e.w, "%-14s %12s %10s\n", "threshold", "log size", "% of orig")
 	fmt.Fprintf(e.w, "%-14s %12d %9.2f%%\n", "Original Log", len(selects), 100.0)
 	thresholds := []struct {

@@ -1,0 +1,96 @@
+// Package parallel provides the small concurrency primitives the pipeline's
+// embarrassingly parallel stages are built on: a worker-count resolver and a
+// bounded worker pool exposed as an ordered Map plus a chunked range runner.
+//
+// The primitives are deliberately deterministic: Map writes each result into
+// its input's slot, and Chunks hands out disjoint contiguous index ranges, so
+// output order never depends on goroutine scheduling. Callers that merge
+// per-chunk aggregates are responsible for doing so in a scheduling-
+// independent way (e.g. commutative counters, or collecting per-index and
+// reducing serially).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n > 0 is used as given; zero or
+// negative selects runtime.GOMAXPROCS(0), i.e. "all the CPUs the runtime
+// will schedule on".
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// minParallel is the input size below which fan-out overhead outweighs any
+// win and the primitives fall back to the calling goroutine.
+const minParallel = 64
+
+// chunksPerWorker oversubscribes the chunk count so that skewed per-item
+// cost (one session with thousands of queries, one statement that is very
+// slow to parse) still load-balances: a worker that drew a cheap chunk grabs
+// the next one instead of idling.
+const chunksPerWorker = 8
+
+// Map applies fn to every element of in using up to `workers` goroutines and
+// returns the results in input order. fn receives the element's index and
+// value; it must be safe for concurrent use. With workers <= 1 (or a small
+// input) everything runs on the calling goroutine, which keeps the serial
+// path allocation- and goroutine-free.
+func Map[T, R any](workers int, in []T, fn func(int, T) R) []R {
+	out := make([]R, len(in))
+	Chunks(workers, len(in), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = fn(i, in[i])
+		}
+	})
+	return out
+}
+
+// Chunks partitions [0, n) into contiguous chunks and invokes fn(lo, hi)
+// for each, using up to `workers` goroutines. Chunks are disjoint and cover
+// the range exactly once; fn must be safe for concurrent use. The call
+// returns after every chunk completed. With workers <= 1 or n < minParallel
+// a single fn(0, n) call runs on the calling goroutine.
+func Chunks(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n < minParallel {
+		fn(0, n)
+		return
+	}
+
+	chunk := n / (w * chunksPerWorker)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,73 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Fatalf("Workers(4) = %d", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != want {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Workers(-3); got != want {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 16} {
+		for _, n := range []int{0, 1, minParallel - 1, minParallel, 1000} {
+			in := make([]int, n)
+			for i := range in {
+				in[i] = i
+			}
+			out := Map(workers, in, func(i, v int) int { return v * v })
+			if len(out) != n {
+				t.Fatalf("workers=%d n=%d: len(out) = %d", workers, n, len(out))
+			}
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("workers=%d n=%d: out[%d] = %d, want %d", workers, n, i, v, i*i)
+				}
+			}
+		}
+	}
+}
+
+func TestChunksCoverExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		for _, n := range []int{0, 1, 63, 64, 65, 4096} {
+			hits := make([]atomic.Int32, n)
+			Chunks(workers, n, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+			})
+			for i := range hits {
+				if c := hits[i].Load(); c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestChunksNegativeN(t *testing.T) {
+	called := false
+	Chunks(4, -1, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("fn called for negative n")
+	}
+}

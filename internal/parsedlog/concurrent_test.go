@@ -1,0 +1,156 @@
+package parsedlog
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"sqlclean/internal/logmodel"
+	"sqlclean/internal/sqlast"
+)
+
+// statement soup with deliberate overlap between goroutines: a mix of
+// SELECTs, DML, DDL and broken statements so every class crosses the cache.
+func soupStatement(i int) string {
+	switch i % 6 {
+	case 0:
+		return fmt.Sprintf("SELECT a FROM t WHERE id = %d", i%17)
+	case 1:
+		return fmt.Sprintf("SELECT a, b FROM photoprimary WHERE objid = %d", i%11)
+	case 2:
+		return "SELECT x FROM t WHERE y = NULL"
+	case 3:
+		return fmt.Sprintf("INSERT INTO t VALUES (%d)", i%7)
+	case 4:
+		return fmt.Sprintf("CREATE TABLE t%d (a int)", i%5)
+	default:
+		return fmt.Sprintf("SELECT a FROM WHERE %d", i%3) // broken
+	}
+}
+
+// TestParserConcurrentHammer drives one Parser from 16 goroutines with
+// overlapping statement sets (run with -race). Every goroutine must see the
+// same classification as a serial reference parse, and identical texts must
+// share one *skeleton.Info pointer across goroutines — the singleflight
+// invariant.
+func TestParserConcurrentHammer(t *testing.T) {
+	const goroutines = 16
+	const perG = 300
+
+	// Serial reference.
+	ref := map[string]Entry{}
+	refParser := NewParser()
+	for i := 0; i < perG; i++ {
+		s := soupStatement(i)
+		ref[s] = refParser.ParseEntry(logmodel.Entry{Statement: s})
+	}
+
+	p := NewParser()
+	results := make([]map[string]Entry, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			got := map[string]Entry{}
+			// Each goroutine walks the soup from a different offset so the
+			// same texts are requested in different orders, racing on the
+			// cache slots.
+			for k := 0; k < perG; k++ {
+				s := soupStatement((k + g*7) % perG)
+				got[s] = p.ParseEntry(logmodel.Entry{Statement: s})
+			}
+			results[g] = got
+		}(g)
+	}
+	wg.Wait()
+
+	for g, got := range results {
+		if len(got) != len(ref) {
+			t.Fatalf("goroutine %d saw %d unique statements, want %d", g, len(got), len(ref))
+		}
+		for s, e := range got {
+			want := ref[s]
+			if e.Class != want.Class {
+				t.Fatalf("goroutine %d: class mismatch for %q: %v != %v", g, s, e.Class, want.Class)
+			}
+			if (e.Err == nil) != (want.Err == nil) {
+				t.Fatalf("goroutine %d: error mismatch for %q", g, s)
+			}
+			if e.Info != nil && !reflect.DeepEqual(e.Info.Fingerprint, want.Info.Fingerprint) {
+				t.Fatalf("goroutine %d: fingerprint mismatch for %q", g, s)
+			}
+			// The singleflight invariant: all goroutines share one Info.
+			if e.Info != results[0][s].Info {
+				t.Fatalf("goroutine %d: Info for %q not shared (singleflight violated)", g, s)
+			}
+		}
+	}
+}
+
+// TestParseParallelMatchesSerial checks ParseParallel returns exactly the
+// serial result (order, stats, Info sharing) for several worker counts.
+func TestParseParallelMatchesSerial(t *testing.T) {
+	var l logmodel.Log
+	for i := 0; i < 500; i++ {
+		l = append(l, logmodel.Entry{Seq: int64(i), Statement: soupStatement(i)})
+	}
+	want, wantStats := Parse(l)
+	for _, workers := range []int{2, 4, 8} {
+		got, gotStats := ParseParallel(l, workers)
+		if gotStats != wantStats {
+			t.Fatalf("workers=%d: stats %+v, want %+v", workers, gotStats, wantStats)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: len %d, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Class != want[i].Class || got[i].Statement != want[i].Statement {
+				t.Fatalf("workers=%d: entry %d differs: %+v vs %+v", workers, i, got[i], want[i])
+			}
+			if (got[i].Info == nil) != (want[i].Info == nil) {
+				t.Fatalf("workers=%d: entry %d Info presence differs", workers, i)
+			}
+			if got[i].Info != nil && got[i].Info.Fingerprint != want[i].Info.Fingerprint {
+				t.Fatalf("workers=%d: entry %d fingerprint differs", workers, i)
+			}
+		}
+		// Identical texts share one Info within the parallel result.
+		byStmt := map[string]*Entry{}
+		for i := range got {
+			e := &got[i]
+			if e.Class != sqlast.ClassSelect {
+				continue
+			}
+			if prev, ok := byStmt[e.Statement]; ok && prev.Info != e.Info {
+				t.Fatalf("workers=%d: %q parsed twice (Info not shared)", workers, e.Statement)
+			}
+			byStmt[e.Statement] = e
+		}
+	}
+}
+
+// TestSelectsRawMatchesSelectsRaw pins SelectsRaw to the two-step spelling.
+func TestSelectsRawMatchesSelectsRaw(t *testing.T) {
+	l := mkLog("SELECT a FROM t", "DROP TABLE t", "SELECT b FROM t", "bogus (")
+	pl, _ := Parse(l)
+	want := pl.Selects().Raw()
+	got := pl.SelectsRaw()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SelectsRaw = %+v, want %+v", got, want)
+	}
+}
+
+// TestSubset checks index-based carry-through.
+func TestSubset(t *testing.T) {
+	l := mkLog("SELECT a FROM t", "SELECT b FROM t", "SELECT c FROM t")
+	pl, _ := Parse(l)
+	sub := pl.Subset([]int{2, 0})
+	if len(sub) != 2 || sub[0].Statement != "SELECT c FROM t" || sub[1].Statement != "SELECT a FROM t" {
+		t.Fatalf("subset: %+v", sub)
+	}
+	if sub[0].Info != pl[2].Info {
+		t.Fatal("subset must share parse results")
+	}
+}

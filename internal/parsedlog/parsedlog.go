@@ -3,10 +3,20 @@
 // statements, the skeleton/template summary from package skeleton. Identical
 // statement texts share one parse result, which matters a lot on real logs
 // where a handful of templates cover millions of entries.
+//
+// The Parser is safe for concurrent use: its statement-text cache is sharded
+// by hash, and a per-statement singleflight guarantees each unique text is
+// parsed exactly once even when many goroutines race on it — so the
+// "identical texts share one *skeleton.Info" invariant holds under
+// ParseParallel exactly as it does serially.
 package parsedlog
 
 import (
+	"hash/maphash"
+	"sync"
+
 	"sqlclean/internal/logmodel"
+	"sqlclean/internal/parallel"
 	"sqlclean/internal/skeleton"
 	"sqlclean/internal/sqlast"
 	"sqlclean/internal/sqlparser"
@@ -39,28 +49,95 @@ type Stats struct {
 // Total returns the number of classified entries.
 func (s Stats) Total() int { return s.Selects + s.DML + s.DDL + s.Exec + s.Errors }
 
+// count adds one entry of the given class.
+func (s *Stats) count(c sqlast.StatementClass) {
+	switch c {
+	case sqlast.ClassSelect:
+		s.Selects++
+	case sqlast.ClassDML:
+		s.DML++
+	case sqlast.ClassDDL:
+		s.DDL++
+	case sqlast.ClassExec:
+		s.Exec++
+	default:
+		s.Errors++
+	}
+}
+
+// Add merges another count into s.
+func (s *Stats) Add(o Stats) {
+	s.Selects += o.Selects
+	s.DML += o.DML
+	s.DDL += o.DDL
+	s.Exec += o.Exec
+	s.Errors += o.Errors
+}
+
 type cached struct {
 	class sqlast.StatementClass
 	info  *skeleton.Info
 	err   error
 }
 
-// Parser parses log entries with a statement-text cache.
+// result is one cache slot with singleflight semantics: the goroutine that
+// inserted the slot (or any later one — sync.Once picks a single winner)
+// parses; everyone else blocks on the Once and then reads the shared value.
+type result struct {
+	once sync.Once
+	c    cached
+}
+
+// shardCount shards the statement-text cache. 32 is a power of two (cheap
+// masking) comfortably above the core counts we target, so two workers
+// rarely contend on one shard lock, while the per-shard map overhead stays
+// negligible.
+const shardCount = 32
+
+type shard struct {
+	mu sync.Mutex
+	m  map[string]*result
+}
+
+// hashSeed makes shard selection consistent within a process. It only picks
+// the shard a statement lives in, so the per-run randomness of maphash never
+// leaks into results.
+var hashSeed = maphash.MakeSeed()
+
+// Parser parses log entries with a statement-text cache. It is safe for
+// concurrent use by multiple goroutines.
 type Parser struct {
-	cache map[string]cached
+	shards [shardCount]shard
 }
 
 // NewParser returns a Parser with an empty cache.
-func NewParser() *Parser { return &Parser{cache: map[string]cached{}} }
-
-// ParseEntry parses one log entry.
-func (p *Parser) ParseEntry(e logmodel.Entry) Entry {
-	c, ok := p.cache[e.Statement]
-	if !ok {
-		c = parseOne(e.Statement)
-		p.cache[e.Statement] = c
+func NewParser() *Parser {
+	p := &Parser{}
+	for i := range p.shards {
+		p.shards[i].m = map[string]*result{}
 	}
-	return Entry{Entry: e, Class: c.class, Info: c.info, Err: c.err}
+	return p
+}
+
+// lookup returns the cache slot for a statement, creating it if needed, and
+// reports whether this caller created it.
+func (p *Parser) lookup(stmt string) *result {
+	sh := &p.shards[maphash.String(hashSeed, stmt)&(shardCount-1)]
+	sh.mu.Lock()
+	r, ok := sh.m[stmt]
+	if !ok {
+		r = &result{}
+		sh.m[stmt] = r
+	}
+	sh.mu.Unlock()
+	return r
+}
+
+// ParseEntry parses one log entry, consulting the shared cache.
+func (p *Parser) ParseEntry(e logmodel.Entry) Entry {
+	r := p.lookup(e.Statement)
+	r.once.Do(func() { r.c = parseOne(e.Statement) })
+	return Entry{Entry: e, Class: r.c.class, Info: r.c.info, Err: r.c.err}
 }
 
 func parseOne(stmt string) cached {
@@ -79,29 +156,54 @@ func parseOne(stmt string) cached {
 	return cached{class: sqlast.ClassError}
 }
 
-// Parse parses a whole log and returns the annotated entries plus class
-// counts.
-func Parse(l logmodel.Log) (Log, Stats) {
-	p := NewParser()
+// Parse annotates a whole log on the calling goroutine, reusing the
+// parser's cache across calls (statements already seen are not re-parsed).
+func (p *Parser) Parse(l logmodel.Log) (Log, Stats) {
 	out := make(Log, 0, len(l))
 	var st Stats
 	for _, e := range l {
 		pe := p.ParseEntry(e)
 		out = append(out, pe)
-		switch pe.Class {
-		case sqlast.ClassSelect:
-			st.Selects++
-		case sqlast.ClassDML:
-			st.DML++
-		case sqlast.ClassDDL:
-			st.DDL++
-		case sqlast.ClassExec:
-			st.Exec++
-		default:
-			st.Errors++
-		}
+		st.count(pe.Class)
 	}
 	return out, st
+}
+
+// ParseParallel annotates a whole log using up to `workers` goroutines
+// (0 selects GOMAXPROCS, 1 is the serial path). The result is identical to
+// Parse: entries keep log order and identical texts share one
+// *skeleton.Info. Only wall-clock time differs.
+func (p *Parser) ParseParallel(l logmodel.Log, workers int) (Log, Stats) {
+	if parallel.Workers(workers) <= 1 {
+		return p.Parse(l)
+	}
+	out := make(Log, len(l))
+	var mu sync.Mutex
+	var st Stats
+	parallel.Chunks(workers, len(l), func(lo, hi int) {
+		var local Stats
+		for i := lo; i < hi; i++ {
+			pe := p.ParseEntry(l[i])
+			out[i] = pe
+			local.count(pe.Class)
+		}
+		mu.Lock()
+		st.Add(local)
+		mu.Unlock()
+	})
+	return out, st
+}
+
+// Parse parses a whole log with a fresh cache and returns the annotated
+// entries plus class counts.
+func Parse(l logmodel.Log) (Log, Stats) {
+	return NewParser().Parse(l)
+}
+
+// ParseParallel parses a whole log with a fresh cache using up to `workers`
+// goroutines; see Parser.ParseParallel.
+func ParseParallel(l logmodel.Log, workers int) (Log, Stats) {
+	return NewParser().ParseParallel(l, workers)
 }
 
 // Selects returns a new log (and parallel logmodel.Log) containing only the
@@ -112,6 +214,28 @@ func (l Log) Selects() Log {
 		if e.Class == sqlast.ClassSelect {
 			out = append(out, e)
 		}
+	}
+	return out
+}
+
+// SelectsRaw returns the SELECT-only entries as a plain logmodel.Log in one
+// pass — Selects().Raw() without materialising the intermediate parsed copy.
+func (l Log) SelectsRaw() logmodel.Log {
+	out := make(logmodel.Log, 0, len(l))
+	for _, e := range l {
+		if e.Class == sqlast.ClassSelect {
+			out = append(out, e.Entry)
+		}
+	}
+	return out
+}
+
+// Subset returns the entries at the given indices, in the order given —
+// the way dedup's kept-index list is carried through without re-parsing.
+func (l Log) Subset(indices []int) Log {
+	out := make(Log, len(indices))
+	for i, idx := range indices {
+		out[i] = l[idx]
 	}
 	return out
 }

@@ -7,6 +7,8 @@ package pattern
 // they are noise for user-interest analyses, so the framework can label and
 // optionally exclude them.
 
+import "sqlclean/internal/parallel"
+
 // SWSOptions are the two thresholds of the paper's Table 8 plus the
 // disjointness requirement.
 type SWSOptions struct {
@@ -54,10 +56,21 @@ func IsSWS(t TemplateStats, totalSelects int, opt SWSOptions) bool {
 
 // ClassifySWS returns the fingerprints of all SWS templates.
 func ClassifySWS(templates []TemplateStats, totalSelects int, opt SWSOptions) map[uint64]bool {
+	return ClassifySWSParallel(templates, totalSelects, opt, 1)
+}
+
+// ClassifySWSParallel evaluates the per-template SWS predicate with up to
+// `workers` goroutines (0 selects GOMAXPROCS, 1 is the serial path).
+// Classification is per template and order-free, so the result set is
+// identical to ClassifySWS for every worker count.
+func ClassifySWSParallel(templates []TemplateStats, totalSelects int, opt SWSOptions, workers int) map[uint64]bool {
+	verdicts := parallel.Map(workers, templates, func(_ int, t TemplateStats) bool {
+		return IsSWS(t, totalSelects, opt)
+	})
 	out := map[uint64]bool{}
-	for _, t := range templates {
-		if IsSWS(t, totalSelects, opt) {
-			out[t.Fingerprint] = true
+	for i, sws := range verdicts {
+		if sws {
+			out[templates[i].Fingerprint] = true
 		}
 	}
 	return out

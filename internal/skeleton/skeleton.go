@@ -122,15 +122,18 @@ func printSelectList(sel *sqlast.SelectStatement, masked bool) string {
 	if masked {
 		o = maskOpts
 	}
-	var parts []string
-	for _, it := range sel.Items {
-		s := sqlast.PrintExpr(it.Expr, o)
-		if it.Alias != "" {
-			s += " AS " + strings.ToLower(it.Alias)
+	var b strings.Builder
+	for i, it := range sel.Items {
+		if i > 0 {
+			b.WriteString(", ")
 		}
-		parts = append(parts, s)
+		sqlast.AppendExpr(&b, it.Expr, o)
+		if it.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(strings.ToLower(it.Alias))
+		}
 	}
-	return strings.Join(parts, ", ")
+	return b.String()
 }
 
 func printFromList(sel *sqlast.SelectStatement, masked bool) string {
@@ -138,11 +141,14 @@ func printFromList(sel *sqlast.SelectStatement, masked bool) string {
 	if masked {
 		o = maskOpts
 	}
-	var parts []string
-	for _, ts := range sel.From {
-		parts = append(parts, sqlast.PrintTableSource(ts, o))
+	var b strings.Builder
+	for i, ts := range sel.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		sqlast.AppendTableSource(&b, ts, o)
 	}
-	return strings.Join(parts, ", ")
+	return b.String()
 }
 
 // ExtractPredicates flattens a WHERE expression over AND and summarizes each

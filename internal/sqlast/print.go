@@ -115,6 +115,19 @@ func PrintTableSource(ts TableSource, o PrintOptions) string {
 	return b.String()
 }
 
+// AppendExpr renders e into b under the given options, saving the
+// intermediate string PrintExpr would allocate.
+func AppendExpr(b *strings.Builder, e Expr, o PrintOptions) {
+	p := printer{b: b, o: o}
+	p.expr(e)
+}
+
+// AppendTableSource renders a FROM entry into b under the given options.
+func AppendTableSource(b *strings.Builder, ts TableSource, o PrintOptions) {
+	p := printer{b: b, o: o}
+	p.tableSource(ts)
+}
+
 type printer struct {
 	b *strings.Builder
 	o PrintOptions
@@ -122,10 +135,13 @@ type printer struct {
 
 func (p *printer) ws(s string) { p.b.WriteString(s) }
 func (p *printer) ident(s string) {
-	if p.o.NormalizeIdents {
-		s = strings.ToLower(s)
-	}
+	// needsQuoting is case-insensitive, so it can run before normalization;
+	// that lets the unquoted path lower ASCII bytes straight into the
+	// builder instead of allocating a strings.ToLower copy per identifier.
 	if needsQuoting(s) {
+		if p.o.NormalizeIdents {
+			s = strings.ToLower(s)
+		}
 		// T-SQL bracket quoting; ']' inside a name cannot round-trip
 		// through the lexer, so it is dropped rather than emitting an
 		// unparseable identifier.
@@ -134,7 +150,46 @@ func (p *printer) ident(s string) {
 		p.ws("]")
 		return
 	}
-	p.ws(s)
+	if !p.o.NormalizeIdents {
+		p.ws(s)
+		return
+	}
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if c >= 0x80 || ('A' <= c && c <= 'Z') {
+			break
+		}
+		i++
+	}
+	if i == len(s) { // already lower-case ASCII — write the original slice
+		p.ws(s)
+		return
+	}
+	p.ws(s[:i])
+	rest := s[i:]
+	var buf [64]byte
+	for len(rest) > 0 {
+		n := len(rest)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		for j := 0; j < n; j++ {
+			c := rest[j]
+			if c >= 0x80 {
+				// Non-ASCII identifier: defer to Unicode-correct lowering.
+				p.b.Write(buf[:j])
+				p.ws(strings.ToLower(rest[j:]))
+				return
+			}
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			buf[j] = c
+		}
+		p.b.Write(buf[:n])
+		rest = rest[n:]
+	}
 }
 
 // startsWithIdentEq reports whether printing the expression would begin
@@ -173,7 +228,7 @@ func needsQuoting(s string) bool {
 	if s == "" {
 		return true
 	}
-	if sqltoken.IsKeyword(strings.ToUpper(s)) {
+	if _, kw := sqltoken.KeywordCanon(s); kw {
 		return true
 	}
 	for i := 0; i < len(s); i++ {

@@ -7,6 +7,7 @@ package sqlparser
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"sqlclean/internal/sqlast"
 	"sqlclean/internal/sqltoken"
@@ -22,16 +23,29 @@ func (e *ParseError) Error() string {
 	return fmt.Sprintf("sql parse error at byte %d: %s", e.Pos, e.Msg)
 }
 
+// tokenBufs recycles token slices across Parse calls. AST nodes keep only
+// strings (aliasing src or interned keywords), never Tokens, so the buffer
+// can be returned to the pool as soon as parsing finishes.
+var tokenBufs = sync.Pool{
+	New: func() any { b := make([]sqltoken.Token, 0, 128); return &b },
+}
+
 // Parse parses a single SQL statement. SELECT statements get a full AST;
 // DML/DDL/EXEC statements are classified into OtherStatement. A trailing
 // semicolon is allowed.
 func Parse(src string) (sqlast.Statement, error) {
-	toks, err := sqltoken.Tokenize(src)
+	bp := tokenBufs.Get().(*[]sqltoken.Token)
+	toks, err := sqltoken.TokenizeAppend((*bp)[:0], src)
 	if err != nil {
+		*bp = toks[:0]
+		tokenBufs.Put(bp)
 		return nil, err
 	}
 	p := &parser{toks: toks, src: src}
-	return p.parseStatement()
+	st, err := p.parseStatement()
+	*bp = toks[:0]
+	tokenBufs.Put(bp)
+	return st, err
 }
 
 // ParseSelect parses src, requiring it to be a SELECT statement.

@@ -86,3 +86,36 @@ var keywords = map[string]bool{
 
 // IsKeyword reports whether the upper-cased word is reserved.
 func IsKeyword(upper string) bool { return keywords[upper] }
+
+// maxKeywordLen is the longest keyword's length; longer words can never be
+// keywords, so KeywordCanon rejects them without touching the map.
+const maxKeywordLen = 9
+
+// keywordCanon maps every keyword to its interned canonical spelling, so
+// the lexer can hand out keyword token values without allocating.
+var keywordCanon = func() map[string]string {
+	m := make(map[string]string, len(keywords))
+	for k := range keywords {
+		m[k] = k
+	}
+	return m
+}()
+
+// KeywordCanon reports whether word is a keyword regardless of case and, if
+// so, returns its canonical upper-case spelling. The returned string is
+// interned — the call never allocates, unlike strings.ToUpper(word).
+func KeywordCanon(word string) (string, bool) {
+	if len(word) > maxKeywordLen {
+		return "", false
+	}
+	var buf [maxKeywordLen]byte
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		buf[i] = c
+	}
+	kw, ok := keywordCanon[string(buf[:len(word)])]
+	return kw, ok
+}
