@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: check build test race bench vet
+# The benchmarks of record (see `bench` below).
+BENCH_REGEX = BenchmarkParseParallel|BenchmarkPipelineParallel|BenchmarkPipelineSeedSerial
+
+.PHONY: check build test race bench bench-json vet
 
 # Default: everything the CI gate runs.
 check: vet test race
@@ -19,7 +22,12 @@ race:
 # Benchmarks of record: parse/pipeline scaling across worker counts plus the
 # seed-cost baseline (see DESIGN.md, "Parallel execution").
 bench:
-	$(GO) test -bench 'BenchmarkParseParallel|BenchmarkPipelineParallel|BenchmarkPipelineSeedSerial' -benchmem -run '^$$' .
+	$(GO) test -bench '$(BENCH_REGEX)' -benchmem -run '^$$' .
+
+# Machine-readable snapshot of the benchmarks of record: name → ns/op,
+# B/op, allocs/op. Commit BENCH_pipeline.json to track regressions per PR.
+bench-json:
+	$(GO) test -bench '$(BENCH_REGEX)' -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_pipeline.json
 
 vet:
 	$(GO) vet ./...

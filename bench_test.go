@@ -18,7 +18,9 @@ import (
 	"sqlclean/internal/dedup"
 	"sqlclean/internal/exec"
 	"sqlclean/internal/logmodel"
+	"sqlclean/internal/obs"
 	"sqlclean/internal/overlap"
+	"sqlclean/internal/parallel"
 	"sqlclean/internal/parsedlog"
 	"sqlclean/internal/pattern"
 	"sqlclean/internal/recommend"
@@ -749,6 +751,43 @@ func BenchmarkAblationClusterFastVsSlow(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if len(overlap.ClusterBoxesFast(boxes, 0.9)) == 0 {
 				b.Fatal("no clusters")
+			}
+		}
+	})
+}
+
+// BenchmarkObsOverhead measures the cost of the observability layer: the
+// same pipeline run with no metrics sink (the nil fast path every library
+// caller gets by default) versus a fully attached registry with the worker
+// pool instrumented. The two must stay within a few percent of each other —
+// the contract that lets instrumentation stay on in production.
+func BenchmarkObsOverhead(b *testing.B) {
+	log, _ := benchSetup(b)
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(log, core.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Report.FinalSize == 0 {
+				b.Fatal("empty clean log")
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		parallel.Instrument(reg)
+		defer parallel.Instrument(nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(log, core.Config{Metrics: reg})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Report.FinalSize == 0 {
+				b.Fatal("empty clean log")
 			}
 		}
 	})

@@ -1,0 +1,79 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// map keyed by benchmark name, so benchmark snapshots can be diffed across
+// PRs without parsing the free-text format again. The GOMAXPROCS suffix
+// (`-8`) is stripped from names; sub-benchmarks keep their slash-separated
+// path.
+//
+// Usage:
+//
+//	go test -bench <regex> -benchmem -run '^$' . | go run ./cmd/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line's measurements. Fields absent from the line
+// (e.g. allocs without -benchmem) stay zero.
+type Result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkPipelineParallel/workers=4-8   42  28519481 ns/op  11863931 B/op  178062 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+func main() {
+	results := map[string]Result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := Result{Iterations: iters, NsPerOp: ns}
+		var lastInt int64
+		for _, f := range strings.Fields(m[4]) {
+			// The tail alternates value/unit; remember the last value.
+			if v, err := strconv.ParseInt(f, 10, 64); err == nil {
+				lastInt = v
+				continue
+			}
+			switch f {
+			case "B/op":
+				r.BytesPerOp = lastInt
+			case "allocs/op":
+				r.AllocsPerOp = lastInt
+			}
+		}
+		results[m[1]] = r
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

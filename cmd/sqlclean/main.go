@@ -4,9 +4,12 @@
 // Usage:
 //
 //	sqlclean [-dup 1s] [-gap 5m] [-no-key-check] [-no-users] [-workers 0]
-//	         [-clean out.tsv] [-removal out.tsv] [-top 15] log.tsv
+//	         [-clean out.tsv] [-removal out.tsv] [-top 15]
+//	         [-progress] [-debug-addr :6060] log.tsv
 //
-// With no file argument the log is read from stdin.
+// With no file argument the log is read from stdin. -progress renders a
+// live rate/ETA line on stderr; -debug-addr serves /metrics (Prometheus
+// text), /debug/pprof/ and /debug/vars while the run is in flight.
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -36,8 +40,26 @@ func main() {
 		streaming  = flag.Bool("stream", false, "bounded-memory streaming mode (TSV input only): sessions are cleaned and written as they close")
 		workers    = flag.Int("workers", 0, "parallelism for the parse/detect stages: 0 = all CPUs, 1 = serial")
 		top        = flag.Int("top", 15, "number of top patterns/antipatterns to print")
+		progress   = flag.Bool("progress", false, "render a live progress line (rate, ETA) on stderr")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/pprof/ and /debug/vars on this address (e.g. :6060)")
+		timing     = flag.Bool("timing", false, "print the per-stage timing tree after the run")
 	)
 	flag.Parse()
+
+	// Observability: one registry feeds the debug endpoint, the progress
+	// reporter and the pipeline's hot-path counters.
+	var metrics *sqlclean.Metrics
+	if *debugAddr != "" || *progress {
+		metrics = sqlclean.NewMetrics()
+		sqlclean.InstrumentParallel(metrics)
+	}
+	if *debugAddr != "" {
+		addr, _, err := sqlclean.ServeDebug(*debugAddr, metrics)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sqlclean: debug server on http://%s (/metrics, /debug/pprof/, /debug/vars)\n", addr)
+	}
 
 	var r io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -60,7 +82,7 @@ func main() {
 		if *format != "tsv" {
 			fatal(fmt.Errorf("-stream supports tsv input only"))
 		}
-		runStreaming(r, *dup, *gap, *noKeyCheck, *cleanOut)
+		runStreaming(r, *dup, *gap, *noKeyCheck, *cleanOut, metrics, *progress)
 		return
 	}
 
@@ -88,10 +110,32 @@ func main() {
 		DisableKeyCheck:    *noKeyCheck,
 		SolveToFixpoint:    *fixpoint,
 		Workers:            *workers,
+		Metrics:            metrics,
+	}
+	if *progress {
+		total := int64(len(log))
+		pr := sqlclean.NewProgress(os.Stderr, 0, func() sqlclean.ProgressSample {
+			// Fixpoint and SWS-mode passes re-parse rewritten statements,
+			// so the parse counter can exceed the input size; clamp it.
+			done := metrics.Counter("parse_entries_total").Value()
+			if done > total {
+				done = total
+			}
+			return sqlclean.ProgressSample{
+				Stage: metrics.Text("pipeline_stage").Get(),
+				Done:  done,
+				Total: total,
+			}
+		})
+		pr.Start()
+		defer pr.Stop()
 	}
 	res, err := sqlclean.Clean(log, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *timing {
+		printTiming(os.Stderr, res.Report.Stages, 0)
 	}
 
 	fmt.Print(res.Report)
@@ -160,9 +204,32 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// printTiming renders the stage-timing tree (one line per span, indented by
+// depth) with durations and recorded attributes.
+func printTiming(w io.Writer, st sqlclean.StageTiming, depth int) {
+	if st.Name == "" {
+		return
+	}
+	fmt.Fprintf(w, "%*s%-12s %12v", depth*2, "", st.Name, time.Duration(st.DurationNS).Round(time.Microsecond))
+	if len(st.Attrs) > 0 {
+		keys := make([]string, 0, len(st.Attrs))
+		for k := range st.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %s=%d", k, st.Attrs[k])
+		}
+	}
+	fmt.Fprintln(w)
+	for _, c := range st.Children {
+		printTiming(w, c, depth+1)
+	}
+}
+
 // runStreaming cleans the log with the bounded-memory streaming pipeline,
 // writing cleaned entries as their sessions close.
-func runStreaming(r io.Reader, dup, gap time.Duration, noKeyCheck bool, cleanOut string) {
+func runStreaming(r io.Reader, dup, gap time.Duration, noKeyCheck bool, cleanOut string, metrics *sqlclean.Metrics, progress bool) {
 	out := os.Stdout
 	if cleanOut != "" {
 		f, err := os.Create(cleanOut)
@@ -176,7 +243,18 @@ func runStreaming(r io.Reader, dup, gap time.Duration, noKeyCheck bool, cleanOut
 		DuplicateThreshold: dup,
 		SessionGap:         gap,
 		DisableKeyCheck:    noKeyCheck,
+		Metrics:            metrics,
 	})
+	if progress {
+		pr := sqlclean.NewProgress(os.Stderr, 0, func() sqlclean.ProgressSample {
+			return sqlclean.ProgressSample{
+				Stage: "stream",
+				Done:  metrics.Counter("stream_entries_in_total").Value(),
+			}
+		})
+		pr.Start()
+		defer pr.Stop()
+	}
 	emit := func(l sqlclean.Log) {
 		if len(l) > 0 {
 			if err := sqlclean.WriteLogTSV(out, l); err != nil {

@@ -9,6 +9,7 @@ package antipattern
 import (
 	"sort"
 
+	"sqlclean/internal/obs"
 	"sqlclean/internal/parallel"
 	"sqlclean/internal/parsedlog"
 	"sqlclean/internal/schema"
@@ -124,7 +125,13 @@ func (r *Registry) Detect(pl parsedlog.Log, sessions []session.Session) []Instan
 // are stateless and qualify, custom Config.ExtraRules must not mutate shared
 // state during Detect.
 func (r *Registry) DetectParallel(pl parsedlog.Log, sessions []session.Session, workers int) []Instance {
-	perSession := parallel.Map(workers, sessions, func(_ int, sess session.Session) []Instance {
+	return r.DetectParallelSpan(pl, sessions, workers, nil)
+}
+
+// DetectParallelSpan is DetectParallel with per-worker child spans attached
+// to sp (nil sp skips tracing; the result is unchanged either way).
+func (r *Registry) DetectParallelSpan(pl parsedlog.Log, sessions []session.Session, workers int, sp *obs.Span) []Instance {
+	perSession := parallel.MapSpan(sp, workers, sessions, func(_ int, sess session.Session) []Instance {
 		var found []Instance
 		for _, rule := range r.rules {
 			found = append(found, rule.Detect(pl, sess)...)

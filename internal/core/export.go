@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"io"
 	"time"
+
+	"sqlclean/internal/obs"
 )
 
 // The JSON export is the machine-readable counterpart of Fig. 1's result
@@ -36,6 +38,12 @@ type ReportJSON struct {
 	SolvePasses     int `json:"solve_passes"`
 	SWSTemplates    int `json:"sws_templates"`
 	SWSQueries      int `json:"sws_queries"`
+
+	// DurationNS is the run's wall-clock time in nanoseconds; Stages is
+	// the hierarchical stage-timing tree (per-stage durations,
+	// cardinalities, and per-worker utilization for parallel stages).
+	DurationNS int64            `json:"duration_ns"`
+	Stages     *obs.StageTiming `json:"stages,omitempty"`
 
 	Antipatterns []AntipatternSummaryJSON `json:"antipatterns"`
 	Solves       []SolveJSON              `json:"solves,omitempty"`
@@ -115,6 +123,11 @@ func Export(res *Result, maxInstances int) ExportDoc {
 		SolvePasses:     r.SolvePasses,
 		SWSTemplates:    r.SWSTemplates,
 		SWSQueries:      r.SWSQueries,
+		DurationNS:      int64(r.Duration),
+	}
+	if r.Stages.Name != "" {
+		stages := r.Stages
+		doc.Report.Stages = &stages
 	}
 	for _, a := range r.AntipatternSummary {
 		doc.Report.Antipatterns = append(doc.Report.Antipatterns, AntipatternSummaryJSON{

@@ -13,6 +13,7 @@ import (
 	"sqlclean/internal/antipattern"
 	"sqlclean/internal/dedup"
 	"sqlclean/internal/logmodel"
+	"sqlclean/internal/obs"
 	"sqlclean/internal/parsedlog"
 	"sqlclean/internal/pattern"
 	"sqlclean/internal/rewrite"
@@ -76,6 +77,14 @@ type Config struct {
 	// for every value — only wall-clock time changes. With Workers != 1,
 	// custom ExtraRules must be safe for concurrent use.
 	Workers int
+	// Metrics is an optional observability registry. When non-nil the run
+	// updates hot-path counters in it (parse cache hits/misses/waits, stage
+	// cardinalities, per-stage duration histograms) and keeps the
+	// pipeline_stage text current for live scraping. Nil — the default —
+	// keeps every hot path on the zero-overhead nil fast path. The stage-
+	// timing tree (Report.Stages) is collected either way: a handful of
+	// spans per run costs nothing measurable.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +152,14 @@ type Report struct {
 	SWSTemplates         int
 	SWSQueries           int
 	QueriesInAntipattern int
+
+	// Duration is the run's wall-clock time.
+	Duration time.Duration
+	// Stages is the hierarchical stage-timing tree: one node per pipeline
+	// stage with its duration and input/output cardinalities, and — for the
+	// parallel stages — one child per worker goroutine with busy time and
+	// chunk/item counts. Serialized by the -json export.
+	Stages obs.StageTiming
 }
 
 // String renders the report as a Table 5-style block.
@@ -200,32 +217,58 @@ type Result struct {
 	Report Report
 }
 
+// beginStage opens a stage span under root and publishes the stage name
+// for live scraping. Pair with endStage.
+func beginStage(root *obs.Span, met *obs.Registry, name string) *obs.Span {
+	met.Text("pipeline_stage").Set(name)
+	return root.StartChild(name)
+}
+
+// endStage freezes the stage span and records its duration into the
+// registry's per-stage histogram (no-op without a registry).
+func endStage(met *obs.Registry, sp *obs.Span) {
+	sp.End()
+	met.Histogram("stage_"+sp.Name()+"_duration_ns", obs.DurationBucketsNS).Observe(int64(sp.Duration()))
+}
+
 // Run executes the full pipeline over the log.
 func Run(input logmodel.Log, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Catalog.Validate(); err != nil {
 		return nil, err
 	}
+	met := cfg.Metrics // nil is the uninstrumented fast path throughout
+	root := obs.StartSpan("pipeline")
+	met.Counter("pipeline_runs_total").Inc()
 
 	res := &Result{Config: cfg}
 	res.Original = input.Clone()
 	res.Original.SortStable()
 	res.Report.SizeOriginal = len(res.Original)
+	met.Counter("pipeline_entries_total").Add(int64(len(res.Original)))
 
 	// Stage 1+2: parse (classify) and keep SELECTs, then delete duplicates.
 	// One parser is shared by every stage of the run, so a statement text is
 	// parsed exactly once no matter how many passes see it.
 	parser := parsedlog.NewParser()
-	parsedAll, pstats := parser.ParseParallel(res.Original, cfg.Workers)
+	parser.Instrument(met)
+	sp := beginStage(root, met, "parse")
+	parsedAll, pstats := parser.ParseParallelSpan(res.Original, cfg.Workers, sp)
 	res.Report.CountDML = pstats.DML
 	res.Report.CountDDL = pstats.DDL
 	res.Report.CountExec = pstats.Exec
 	res.Report.CountErrors = pstats.Errors
 	res.Report.CountSelect = pstats.Selects
+	sp.SetInt("in", int64(len(res.Original)))
+	sp.SetInt("selects", int64(pstats.Selects))
+	sp.SetInt("errors", int64(pstats.Errors))
+	endStage(met, sp)
+	met.Counter("pipeline_selects_total").Add(int64(pstats.Selects))
 
 	// Stage 3: the parsed pre-clean log. Dedup reports which entries it
 	// kept, so the stage-1 parse results are carried through by index — the
 	// pre-clean log is never re-parsed.
+	sp = beginStage(root, met, "dedup")
 	selParsed := parsedAll.Selects()
 	if cfg.NoDedup {
 		res.PreClean = selParsed.Raw()
@@ -237,13 +280,24 @@ func Run(input logmodel.Log, cfg Config) (*Result, error) {
 	}
 	res.Report.DuplicatesFound = res.Dedup.Removed
 	res.Report.SizeAfterDedup = len(res.PreClean)
+	sp.SetInt("in", int64(len(selParsed)))
+	sp.SetInt("out", int64(len(res.PreClean)))
+	sp.SetInt("removed", int64(res.Dedup.Removed))
+	endStage(met, sp)
+	met.Counter("pipeline_duplicates_total").Add(int64(res.Dedup.Removed))
 
 	// Stage 4: sessions, templates, patterns.
 	gap := cfg.SessionGap
 	if gap < 0 {
 		gap = 0
 	}
+	sp = beginStage(root, met, "sessionize")
 	res.Sessions = session.Build(res.PreClean, session.Options{MaxGap: gap, SplitOnLabel: true})
+	sp.SetInt("in", int64(len(res.PreClean)))
+	sp.SetInt("sessions", int64(len(res.Sessions)))
+	endStage(met, sp)
+
+	sp = beginStage(root, met, "templates")
 	res.Templates = pattern.Templates(res.Parsed)
 	res.Report.CountTemplates = len(res.Templates)
 	if len(res.Templates) > 0 {
@@ -252,13 +306,23 @@ func Run(input logmodel.Log, cfg Config) (*Result, error) {
 	if cfg.MaxSequenceLen >= 2 {
 		res.Sequences = pattern.Sequences(res.Parsed, res.Sessions, cfg.MaxSequenceLen)
 	}
-	res.SWS = pattern.ClassifySWSParallel(res.Templates, len(res.PreClean), cfg.SWS, cfg.Workers)
+	sp.SetInt("in", int64(len(res.Parsed)))
+	sp.SetInt("templates", int64(len(res.Templates)))
+	sp.SetInt("sequences", int64(len(res.Sequences)))
+	endStage(met, sp)
+	met.Counter("pipeline_templates_total").Add(int64(len(res.Templates)))
+
+	sp = beginStage(root, met, "sws")
+	res.SWS = pattern.ClassifySWSParallelSpan(res.Templates, len(res.PreClean), cfg.SWS, cfg.Workers, sp)
 	for _, t := range res.Templates {
 		if res.SWS[t.Fingerprint] {
 			res.Report.SWSTemplates++
 			res.Report.SWSQueries += t.Frequency
 		}
 	}
+	sp.SetInt("in", int64(len(res.Templates)))
+	sp.SetInt("sws_templates", int64(res.Report.SWSTemplates))
+	endStage(met, sp)
 
 	// Stage 5: detect antipatterns.
 	reg := antipattern.DefaultRegistry(cfg.Catalog, antipattern.Options{
@@ -268,7 +332,8 @@ func Run(input logmodel.Log, cfg Config) (*Result, error) {
 	for _, r := range cfg.ExtraRules {
 		reg.Register(r)
 	}
-	res.Instances = reg.DetectParallel(res.Parsed, res.Sessions, cfg.Workers)
+	sp = beginStage(root, met, "detect")
+	res.Instances = reg.DetectParallelSpan(res.Parsed, res.Sessions, cfg.Workers, sp)
 	res.Report.AntipatternSummary = antipattern.Summarize(res.Instances)
 	inAnti := map[int]bool{}
 	for _, in := range res.Instances {
@@ -277,8 +342,14 @@ func Run(input logmodel.Log, cfg Config) (*Result, error) {
 		}
 	}
 	res.Report.QueriesInAntipattern = len(inAnti)
+	sp.SetInt("sessions", int64(len(res.Sessions)))
+	sp.SetInt("instances", int64(len(res.Instances)))
+	sp.SetInt("queries_in_antipattern", int64(len(inAnti)))
+	endStage(met, sp)
+	met.Counter("pipeline_instances_total").Add(int64(len(res.Instances)))
 
 	// Stage 6: solve antipatterns.
+	sp = beginStage(root, met, "solve")
 	if cfg.DisableSolve {
 		res.Clean = res.PreClean.Clone()
 		res.Removal = res.PreClean.Clone()
@@ -298,10 +369,13 @@ func Run(input logmodel.Log, cfg Config) (*Result, error) {
 		// changed — everything else is a cache hit.
 		if cfg.SolveToFixpoint {
 			for pass := 1; pass < cfg.MaxSolvePasses; pass++ {
-				parsed, _ := parser.ParseParallel(res.Clean, cfg.Workers)
+				psp := sp.StartChild(fmt.Sprintf("pass%02d", pass+1))
+				parsed, _ := parser.ParseParallelSpan(res.Clean, cfg.Workers, psp)
 				sessions := session.Build(res.Clean, session.Options{MaxGap: gap, SplitOnLabel: true})
-				instances := reg.DetectParallel(parsed, sessions, cfg.Workers)
+				instances := reg.DetectParallelSpan(parsed, sessions, cfg.Workers, psp)
 				next := rewrite.Apply(parsed, instances, solvers)
+				psp.SetInt("instances", int64(len(instances)))
+				psp.End()
 				if len(next.Clean) == len(res.Clean) {
 					break
 				}
@@ -311,19 +385,39 @@ func Run(input logmodel.Log, cfg Config) (*Result, error) {
 			}
 		}
 	}
+	sp.SetInt("passes", int64(res.Report.SolvePasses))
+	sp.SetInt("replacements", int64(len(res.Replacements)))
+	sp.SetInt("out", int64(len(res.Clean)))
+	endStage(met, sp)
+	for _, s := range res.Report.SolveStats {
+		met.Counter("pipeline_solved_queries_total").Add(int64(s.QueriesBefore - s.QueriesAfter))
+	}
 
 	// §6.5: optional SWS treatment of the clean log.
 	if cfg.SWSMode != SWSKeep && len(res.SWS) > 0 {
-		res.Clean = applySWSMode(res.Clean, res.SWS, cfg.SWSMode, parser, cfg.Workers)
+		sp = beginStage(root, met, "sws-mode")
+		in := len(res.Clean)
+		res.Clean = applySWSMode(res.Clean, res.SWS, cfg.SWSMode, parser, cfg.Workers, sp)
+		sp.SetInt("in", int64(in))
+		sp.SetInt("out", int64(len(res.Clean)))
+		endStage(met, sp)
 	}
 	res.Report.FinalSize = len(res.Clean)
+	met.Text("pipeline_stage").Set("done")
+
+	root.SetInt("in", int64(len(res.Original)))
+	root.SetInt("out", int64(len(res.Clean)))
+	root.End()
+	res.Report.Duration = root.Duration()
+	res.Report.Stages = root.Snapshot()
+	met.Histogram("pipeline_duration_ns", obs.DurationBucketsNS).Observe(int64(res.Report.Duration))
 	return res, nil
 }
 
 // applySWSMode drops or unions the clean log's SWS-template queries. The
 // run's shared parser makes the lookup parse only rewritten statements.
-func applySWSMode(clean logmodel.Log, sws map[uint64]bool, mode SWSMode, parser *parsedlog.Parser, workers int) logmodel.Log {
-	parsed, _ := parser.ParseParallel(clean, workers)
+func applySWSMode(clean logmodel.Log, sws map[uint64]bool, mode SWSMode, parser *parsedlog.Parser, workers int, sp *obs.Span) logmodel.Log {
+	parsed, _ := parser.ParseParallelSpan(clean, workers, sp)
 
 	// Group SWS entries per fingerprint, in log order.
 	groups := map[uint64][]int{}

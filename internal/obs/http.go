@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the process-wide expvar publication (expvar.Publish
+// panics on duplicate names; one debug server per process is the intended
+// shape anyway).
+var expvarOnce sync.Once
+
+// NewDebugMux returns a mux serving the standard Go debug surface plus the
+// registry:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/debug/pprof/   CPU, heap, goroutine, ... profiles
+//	/debug/vars     expvar (with the registry under "sqlclean_metrics")
+func NewDebugMux(reg *Registry) *http.ServeMux {
+	expvarOnce.Do(func() {
+		expvar.Publish("sqlclean_metrics", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the debug server on addr (e.g. ":6060") in a background
+// goroutine and returns the bound address (useful with ":0") plus the
+// server for shutdown. The server lives until closed or process exit.
+func Serve(addr string, reg *Registry) (string, *http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: NewDebugMux(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv, nil
+}

@@ -1,0 +1,372 @@
+// Package obs is the pipeline's observability substrate: a dependency-free
+// metrics registry (atomic counters, gauges with high-water marks, fixed-
+// bucket histograms), lightweight span tracing for the stage-timing tree,
+// a progress reporter, and an opt-in debug HTTP endpoint exposing pprof,
+// expvar and a Prometheus-text rendering of the registry.
+//
+// Everything is built for a nil fast path: every metric method is a no-op on
+// a nil receiver, and a nil *Registry hands out nil metrics, so
+// uninstrumented runs pay one nil check per call site and nothing else. That
+// is the contract the pipeline's hot paths (statement parsing, worker
+// chunks, session eviction) rely on — see BenchmarkObsOverhead.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value that additionally tracks its
+// high-water mark — the memory-bound proof for values like "open sessions".
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Set stores v and raises the high-water mark if exceeded. No-op on nil.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	g.raise(v)
+}
+
+// Add adds delta and raises the high-water mark if exceeded. No-op on nil.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.raise(g.v.Add(delta))
+}
+
+func (g *Gauge) raise(v int64) {
+	for {
+		cur := g.max.Load()
+		if v <= cur || g.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max returns the high-water mark (0 on a nil receiver).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// Histogram is a fixed-bucket histogram: counts per upper bound plus an
+// implicit +Inf bucket, with a running sum and count. Buckets are chosen at
+// registration and never change, so observation is lock-free.
+type Histogram struct {
+	bounds []int64        // ascending upper bounds (inclusive)
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on a nil receiver).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// DurationBucketsNS are the default histogram bounds for durations, in
+// nanoseconds: 1µs to 1min, one decade apart plus a 10s step.
+var DurationBucketsNS = []int64{
+	1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 6e10,
+}
+
+// SizeBuckets are the default histogram bounds for cardinalities (session
+// lengths, chunk sizes): decades from 1 to 10M.
+var SizeBuckets = []int64{1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7}
+
+// Text is a mutex-guarded string metric (e.g. the current pipeline stage),
+// exposed on /metrics as an info-style gauge with a value label.
+type Text struct {
+	mu sync.Mutex
+	s  string
+}
+
+// Set stores s. No-op on a nil receiver.
+func (t *Text) Set(s string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.s = s
+	t.mu.Unlock()
+}
+
+// Get returns the current string ("" on a nil receiver).
+func (t *Text) Get() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.s
+}
+
+// Registry is a named collection of metrics. Metric lookup is get-or-create
+// and safe for concurrent use; each kind has its own namespace. The zero
+// value is not usable — NewRegistry — but a nil *Registry is: it hands out
+// nil metrics whose methods are all no-ops, which is the uninstrumented
+// fast path.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	texts    map[string]*Text
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		texts:    map[string]*Text{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use (later calls reuse the first bounds). A nil registry returns
+// a nil (no-op) histogram.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Text returns the named text metric, creating it on first use. A nil
+// registry returns a nil (no-op) text.
+func (r *Registry) Text(name string) *Text {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.texts[name]
+	if !ok {
+		t = &Text{}
+		r.texts[name] = t
+	}
+	return t
+}
+
+// GaugeSnapshot is one gauge's value and high-water mark.
+type GaugeSnapshot struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// HistogramSnapshot is one histogram's buckets and aggregates.
+type HistogramSnapshot struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"` // len(Bounds)+1; last is +Inf
+	Sum    int64   `json:"sum"`
+	Count  int64   `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of every metric. Individual values are
+// read atomically; the snapshot as a whole is not transactional (concurrent
+// writers may land between reads), which is the usual scrape semantics.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]GaugeSnapshot     `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Texts      map[string]string            `json:"texts,omitempty"`
+}
+
+// Snapshot copies every metric's current value. A nil registry returns the
+// zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]GaugeSnapshot, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = GaugeSnapshot{Value: g.Value(), Max: g.Max()}
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistogramSnapshot{
+				Bounds: append([]int64(nil), h.bounds...),
+				Counts: make([]int64, len(h.counts)),
+				Sum:    h.Sum(),
+				Count:  h.Count(),
+			}
+			for i := range h.counts {
+				hs.Counts[i] = h.counts[i].Load()
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	if len(r.texts) > 0 {
+		s.Texts = make(map[string]string, len(r.texts))
+		for name, t := range r.texts {
+			s.Texts[name] = t.Get()
+		}
+	}
+	return s
+}
+
+// promPrefix namespaces every exposed metric.
+const promPrefix = "sqlclean_"
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format, metrics sorted by name. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "# TYPE %s%s counter\n%s%s %d\n", promPrefix, name, promPrefix, name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		g := s.Gauges[name]
+		fmt.Fprintf(&b, "# TYPE %s%s gauge\n%s%s %d\n", promPrefix, name, promPrefix, name, g.Value)
+		fmt.Fprintf(&b, "# TYPE %s%s_max gauge\n%s%s_max %d\n", promPrefix, name, promPrefix, name, g.Max)
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "# TYPE %s%s histogram\n", promPrefix, name)
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s%s_bucket{le=\"%d\"} %d\n", promPrefix, name, bound, cum)
+		}
+		fmt.Fprintf(&b, "%s%s_bucket{le=\"+Inf\"} %d\n", promPrefix, name, h.Count)
+		fmt.Fprintf(&b, "%s%s_sum %d\n", promPrefix, name, h.Sum)
+		fmt.Fprintf(&b, "%s%s_count %d\n", promPrefix, name, h.Count)
+	}
+	for _, name := range sortedKeys(s.Texts) {
+		fmt.Fprintf(&b, "# TYPE %s%s_info gauge\n%s%s_info{value=%q} 1\n", promPrefix, name, promPrefix, name, s.Texts[name])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

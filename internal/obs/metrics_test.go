@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentHammer drives one registry from 16 goroutines (run
+// with -race, mirroring internal/parsedlog's concurrent hammer): every
+// goroutine races on metric creation and updates while snapshots are taken
+// concurrently. After the join the final snapshot must be exactly
+// consistent with the work done.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	const goroutines = 16
+	const perG = 2000
+
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Get-or-create races deliberately: every goroutine looks the
+				// metrics up by name every iteration.
+				reg.Counter("hammer_total").Inc()
+				reg.Gauge("hammer_level").Set(int64(i))
+				reg.Histogram("hammer_sizes", SizeBuckets).Observe(int64(i % 1000))
+				reg.Text("hammer_stage").Set("stage")
+				if i%100 == 0 {
+					// Concurrent scrapes must never see torn metric maps.
+					_ = reg.Snapshot()
+					_ = reg.WritePrometheus(&strings.Builder{})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := reg.Snapshot()
+	if got := s.Counters["hammer_total"]; got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := s.Gauges["hammer_level"].Max; got != perG-1 {
+		t.Errorf("gauge max = %d, want %d", got, perG-1)
+	}
+	h := s.Histograms["hammer_sizes"]
+	if h.Count != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", h.Count, goroutines*perG)
+	}
+	var bucketSum int64
+	for _, c := range h.Counts {
+		bucketSum += c
+	}
+	if bucketSum != h.Count {
+		t.Errorf("bucket sum %d != count %d", bucketSum, h.Count)
+	}
+	if s.Texts["hammer_stage"] != "stage" {
+		t.Errorf("text = %q", s.Texts["hammer_stage"])
+	}
+}
+
+// TestNilFastPath pins the no-sink contract: every metric operation on a
+// nil registry and nil metrics must be a safe no-op.
+func TestNilFastPath(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter accumulated")
+	}
+	g := reg.Gauge("x")
+	g.Set(3)
+	g.Add(2)
+	if g.Value() != 0 || g.Max() != 0 {
+		t.Error("nil gauge accumulated")
+	}
+	h := reg.Histogram("x", SizeBuckets)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram accumulated")
+	}
+	tx := reg.Text("x")
+	tx.Set("y")
+	if tx.Get() != "" {
+		t.Error("nil text accumulated")
+	}
+	if s := reg.Snapshot(); s.Counters != nil || s.Gauges != nil {
+		t.Error("nil registry snapshot not empty")
+	}
+	if err := reg.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil registry prometheus: %v", err)
+	}
+}
+
+func TestGaugeHighWaterMark(t *testing.T) {
+	g := NewRegistry().Gauge("g")
+	g.Set(5)
+	g.Set(2)
+	g.Add(1)
+	if g.Value() != 3 {
+		t.Errorf("value = %d, want 3", g.Value())
+	}
+	if g.Max() != 5 {
+		t.Errorf("max = %d, want 5", g.Max())
+	}
+	g.Add(10)
+	if g.Max() != 13 {
+		t.Errorf("max = %d, want 13", g.Max())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewRegistry().Histogram("h", []int64{10, 100})
+	for _, v := range []int64{1, 10, 11, 100, 101, 5000} {
+		h.Observe(v)
+	}
+	s := histSnapshot(h)
+	want := []int64{2, 2, 2} // ≤10: {1,10}; ≤100: {11,100}; +Inf: {101,5000}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Sum != 1+10+11+100+101+5000 {
+		t.Errorf("sum = %d", s.Sum)
+	}
+}
+
+// histSnapshot snapshots a single histogram for tests.
+func histSnapshot(h *Histogram) HistogramSnapshot {
+	hs := HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.Sum(),
+		Count:  h.Count(),
+	}
+	for i := range h.counts {
+		hs.Counts[i] = h.counts[i].Load()
+	}
+	return hs
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("runs_total").Add(3)
+	reg.Gauge("open").Set(7)
+	reg.Histogram("lat_ns", []int64{100}).Observe(50)
+	reg.Text("stage").Set("parse")
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE sqlclean_runs_total counter",
+		"sqlclean_runs_total 3",
+		"sqlclean_open 7",
+		"sqlclean_open_max 7",
+		`sqlclean_lat_ns_bucket{le="100"} 1`,
+		`sqlclean_lat_ns_bucket{le="+Inf"} 1`,
+		"sqlclean_lat_ns_sum 50",
+		"sqlclean_lat_ns_count 1",
+		`sqlclean_stage_info{value="parse"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

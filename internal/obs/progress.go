@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ProgressSample is one observation of how far the run has come. Total may
+// be 0 when unknown (streaming input), which suppresses the ETA.
+type ProgressSample struct {
+	Stage string
+	Done  int64
+	Total int64
+}
+
+// Progress periodically renders a one-line status (stage, count, rate, ETA)
+// to a writer — the live view of a long run, typically stderr. The sample
+// function is called on every tick from the reporter's goroutine, so it
+// must be safe to call concurrently with the run (registry metrics are).
+type Progress struct {
+	w        io.Writer
+	interval time.Duration
+	sample   func() ProgressSample
+
+	start    time.Time
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewProgress returns an unstarted progress reporter ticking at the given
+// interval (0 selects 1 s).
+func NewProgress(w io.Writer, interval time.Duration, sample func() ProgressSample) *Progress {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Progress{w: w, interval: interval, sample: sample, stop: make(chan struct{})}
+}
+
+// Start launches the reporting goroutine.
+func (p *Progress) Start() {
+	p.start = time.Now()
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.emit()
+			}
+		}
+	}()
+}
+
+// Stop halts the reporter, prints one final line, and waits for the
+// goroutine to exit. Safe to call more than once.
+func (p *Progress) Stop() {
+	p.stopOnce.Do(func() {
+		close(p.stop)
+		p.wg.Wait()
+		p.emit()
+		fmt.Fprintln(p.w)
+	})
+}
+
+func (p *Progress) emit() {
+	s := p.sample()
+	elapsed := time.Since(p.start)
+	rate := float64(s.Done) / elapsed.Seconds()
+	line := fmt.Sprintf("\rprogress: %-10s %d", s.Stage, s.Done)
+	if s.Total > 0 {
+		line += fmt.Sprintf("/%d", s.Total)
+	}
+	line += fmt.Sprintf(" stmts (%.0f/s", rate)
+	if s.Total > 0 && rate > 0 && s.Done < s.Total {
+		eta := time.Duration(float64(s.Total-s.Done)/rate) * time.Second
+		line += fmt.Sprintf(", ETA %s", eta.Round(time.Second))
+	}
+	line += fmt.Sprintf(", elapsed %s)", elapsed.Round(100*time.Millisecond))
+	fmt.Fprint(p.w, line)
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one node of the stage-timing tree: a named duration with integer
+// attributes (cardinalities, counts) and child spans. Spans are cheap — a
+// timestamp at start, one at End, and a small struct — so the pipeline
+// records them unconditionally; the per-item hot-path metrics are what the
+// nil fast path gates.
+//
+// A nil *Span is a valid no-op: StartChild returns nil, End and the attr
+// setters do nothing. That lets the worker-pool layer thread an optional
+// span through without branching at call sites.
+//
+// Concurrency: StartChild, AddInt and SetInt are safe for concurrent use on
+// one span (parallel stages add worker children concurrently). Each child
+// span must still be Ended by its single owner.
+type Span struct {
+	name  string
+	start time.Time
+	done  bool
+	dur   time.Duration
+
+	mu       sync.Mutex
+	attrs    map[string]int64
+	children []*Span
+}
+
+// StartSpan starts a root span.
+func StartSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// StartChild starts and attaches a child span. Returns nil on a nil
+// receiver.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End freezes the span's duration. Idempotent; no-op on a nil receiver.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	s.dur = time.Since(s.start)
+}
+
+// Name returns the span's name ("" on a nil receiver).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the frozen duration, or the running duration if the span
+// has not Ended yet (0 on a nil receiver).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	if s.done {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// SetInt stores an integer attribute. No-op on a nil receiver.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]int64{}
+	}
+	s.attrs[key] = v
+	s.mu.Unlock()
+}
+
+// AddInt accumulates into an integer attribute. No-op on a nil receiver.
+func (s *Span) AddInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]int64{}
+	}
+	s.attrs[key] += v
+	s.mu.Unlock()
+}
+
+// StageTiming is the immutable, JSON-serializable snapshot of a span tree —
+// what core.Result.Report carries and -json emits.
+type StageTiming struct {
+	Name       string           `json:"name"`
+	DurationNS int64            `json:"duration_ns"`
+	Attrs      map[string]int64 `json:"attrs,omitempty"`
+	Children   []StageTiming    `json:"children,omitempty"`
+}
+
+// Snapshot copies the span tree. A nil span snapshots to the zero value.
+func (s *Span) Snapshot() StageTiming {
+	if s == nil {
+		return StageTiming{}
+	}
+	st := StageTiming{Name: s.name, DurationNS: int64(s.Duration())}
+	s.mu.Lock()
+	if len(s.attrs) > 0 {
+		st.Attrs = make(map[string]int64, len(s.attrs))
+		for k, v := range s.attrs {
+			st.Attrs[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		st.Children = append(st.Children, c.Snapshot())
+	}
+	return st
+}
+
+// Find returns the first node named name in a pre-order walk of the tree,
+// or nil.
+func (st *StageTiming) Find(name string) *StageTiming {
+	if st == nil {
+		return nil
+	}
+	if st.Name == name {
+		return st
+	}
+	for i := range st.Children {
+		if found := st.Children[i].Find(name); found != nil {
+			return found
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestSpanTree(t *testing.T) {
+	root := StartSpan("pipeline")
+	parse := root.StartChild("parse")
+	parse.SetInt("in", 100)
+	parse.AddInt("selects", 40)
+	parse.AddInt("selects", 2)
+	parse.End()
+	detect := root.StartChild("detect")
+	detect.End()
+	root.End()
+
+	st := root.Snapshot()
+	if st.Name != "pipeline" || len(st.Children) != 2 {
+		t.Fatalf("tree shape: %+v", st)
+	}
+	p := st.Find("parse")
+	if p == nil {
+		t.Fatal("parse stage missing")
+	}
+	if p.Attrs["in"] != 100 || p.Attrs["selects"] != 42 {
+		t.Errorf("parse attrs: %v", p.Attrs)
+	}
+	if st.DurationNS <= 0 || p.DurationNS <= 0 {
+		t.Errorf("durations not recorded: root=%d parse=%d", st.DurationNS, p.DurationNS)
+	}
+	if st.Find("missing") != nil {
+		t.Error("Find invented a stage")
+	}
+
+	// The snapshot must be JSON-serializable (it rides in -json output).
+	if _, err := json.Marshal(st); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+// TestSpanConcurrentChildren pins the contract the worker pool relies on:
+// concurrent StartChild/AddInt on one parent span (run with -race).
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := StartSpan("stage")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := root.StartChild("worker")
+			for i := 0; i < 100; i++ {
+				ws.AddInt("items", 1)
+			}
+			ws.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	st := root.Snapshot()
+	if len(st.Children) != 8 {
+		t.Fatalf("children = %d, want 8", len(st.Children))
+	}
+	for _, c := range st.Children {
+		if c.Attrs["items"] != 100 {
+			t.Errorf("worker items = %d, want 100", c.Attrs["items"])
+		}
+	}
+}
+
+func TestNilSpanNoOps(t *testing.T) {
+	var s *Span
+	c := s.StartChild("x")
+	if c != nil {
+		t.Fatal("nil span produced a child")
+	}
+	c.SetInt("k", 1)
+	c.AddInt("k", 1)
+	c.End()
+	if c.Duration() != 0 || c.Name() != "" {
+		t.Error("nil span accumulated state")
+	}
+	if st := c.Snapshot(); st.Name != "" || st.Children != nil {
+		t.Error("nil span snapshot not zero")
+	}
+}

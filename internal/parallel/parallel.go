@@ -8,12 +8,22 @@
 // per-chunk aggregates are responsible for doing so in a scheduling-
 // independent way (e.g. commutative counters, or collecting per-index and
 // reducing serially).
+//
+// Observability: the Span variants attach one child span per worker
+// goroutine (busy time, chunks, items — the utilization view of a fan-out),
+// and Instrument wires process-wide pool counters into an obs.Registry.
+// Both are nil fast paths: with no span and no registry the hot loop is
+// exactly the uninstrumented code.
 package parallel
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"sqlclean/internal/obs"
 )
 
 // Workers resolves a worker-count knob: n > 0 is used as given; zero or
@@ -36,14 +46,52 @@ const minParallel = 64
 // the next one instead of idling.
 const chunksPerWorker = 8
 
+// poolMetrics are the process-wide pool counters, published by Instrument.
+type poolMetrics struct {
+	fanouts *obs.Counter // parallel sections entered
+	chunks  *obs.Counter // chunks executed
+	items   *obs.Counter // items covered by executed chunks
+	busyNS  *obs.Counter // summed worker busy time
+	active  *obs.Gauge   // workers currently running (Max = peak)
+}
+
+// metrics is nil until Instrument attaches a registry; the pool loads it
+// once per fan-out, so uninstrumented runs pay one atomic load per Chunks
+// call and nothing per chunk.
+var metrics atomic.Pointer[poolMetrics]
+
+// Instrument publishes worker-pool utilization metrics into the registry:
+// parallel_fanouts_total, parallel_chunks_total, parallel_items_total,
+// parallel_busy_ns_total and the parallel_workers_active gauge (whose Max
+// is the peak concurrency). A nil registry detaches.
+func Instrument(reg *obs.Registry) {
+	if reg == nil {
+		metrics.Store(nil)
+		return
+	}
+	metrics.Store(&poolMetrics{
+		fanouts: reg.Counter("parallel_fanouts_total"),
+		chunks:  reg.Counter("parallel_chunks_total"),
+		items:   reg.Counter("parallel_items_total"),
+		busyNS:  reg.Counter("parallel_busy_ns_total"),
+		active:  reg.Gauge("parallel_workers_active"),
+	})
+}
+
 // Map applies fn to every element of in using up to `workers` goroutines and
 // returns the results in input order. fn receives the element's index and
 // value; it must be safe for concurrent use. With workers <= 1 (or a small
 // input) everything runs on the calling goroutine, which keeps the serial
 // path allocation- and goroutine-free.
 func Map[T, R any](workers int, in []T, fn func(int, T) R) []R {
+	return MapSpan(nil, workers, in, fn)
+}
+
+// MapSpan is Map with per-worker child spans attached to sp (nil sp skips
+// all tracing).
+func MapSpan[T, R any](sp *obs.Span, workers int, in []T, fn func(int, T) R) []R {
 	out := make([]R, len(in))
-	Chunks(workers, len(in), func(lo, hi int) {
+	ChunksSpan(sp, workers, len(in), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = fn(i, in[i])
 		}
@@ -57,6 +105,15 @@ func Map[T, R any](workers int, in []T, fn func(int, T) R) []R {
 // returns after every chunk completed. With workers <= 1 or n < minParallel
 // a single fn(0, n) call runs on the calling goroutine.
 func Chunks(workers, n int, fn func(lo, hi int)) {
+	ChunksSpan(nil, workers, n, fn)
+}
+
+// ChunksSpan is Chunks with observability: when sp is non-nil and the
+// parallel path is taken, each worker goroutine records a child span
+// ("worker00", ...) carrying its busy time, chunk count and item count —
+// idle workers show up as zero-chunk spans. When Instrument attached a
+// registry, the process-wide pool counters are updated as well.
+func ChunksSpan(sp *obs.Span, workers, n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -73,24 +130,58 @@ func Chunks(workers, n int, fn func(lo, hi int)) {
 	if chunk < 1 {
 		chunk = 1
 	}
+	m := metrics.Load()
+	if m != nil {
+		m.fanouts.Inc()
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
-		go func() {
+		var ws *obs.Span
+		if sp != nil {
+			ws = sp.StartChild(fmt.Sprintf("worker%02d", g))
+		}
+		go func(ws *obs.Span) {
 			defer wg.Done()
+			if m != nil {
+				m.active.Add(1)
+				defer m.active.Add(-1)
+			}
+			var busy time.Duration
+			var chunks, items int64
+			observed := m != nil || ws != nil
 			for {
 				lo := int(next.Add(int64(chunk))) - chunk
 				if lo >= n {
-					return
+					break
 				}
 				hi := lo + chunk
 				if hi > n {
 					hi = n
 				}
-				fn(lo, hi)
+				if observed {
+					t0 := time.Now()
+					fn(lo, hi)
+					busy += time.Since(t0)
+					chunks++
+					items += int64(hi - lo)
+				} else {
+					fn(lo, hi)
+				}
 			}
-		}()
+			if m != nil {
+				m.chunks.Add(chunks)
+				m.items.Add(items)
+				m.busyNS.Add(int64(busy))
+			}
+			if ws != nil {
+				ws.AddInt("busy_ns", int64(busy))
+				ws.AddInt("chunks", chunks)
+				ws.AddInt("items", items)
+				ws.End()
+			}
+		}(ws)
 	}
 	wg.Wait()
 }

@@ -14,8 +14,10 @@ package parsedlog
 import (
 	"hash/maphash"
 	"sync"
+	"sync/atomic"
 
 	"sqlclean/internal/logmodel"
+	"sqlclean/internal/obs"
 	"sqlclean/internal/parallel"
 	"sqlclean/internal/skeleton"
 	"sqlclean/internal/sqlast"
@@ -83,8 +85,11 @@ type cached struct {
 // result is one cache slot with singleflight semantics: the goroutine that
 // inserted the slot (or any later one — sync.Once picks a single winner)
 // parses; everyone else blocks on the Once and then reads the shared value.
+// done flips after the parse completed, so an instrumented lookup can tell
+// a plain cache hit from a singleflight wait.
 type result struct {
 	once sync.Once
+	done atomic.Bool
 	c    cached
 }
 
@@ -104,10 +109,37 @@ type shard struct {
 // leaks into results.
 var hashSeed = maphash.MakeSeed()
 
+// parserMetrics are the hot-path cache counters Instrument attaches.
+type parserMetrics struct {
+	entries *obs.Counter // ParseEntry calls
+	misses  *obs.Counter // this call created the slot and parses
+	hits    *obs.Counter // slot existed with a finished parse
+	waits   *obs.Counter // slot existed but the parse was in flight (singleflight wait)
+}
+
 // Parser parses log entries with a statement-text cache. It is safe for
 // concurrent use by multiple goroutines.
 type Parser struct {
 	shards [shardCount]shard
+	// met is nil unless Instrument attached a registry. It is read without
+	// synchronization, so Instrument must be called before parsing starts.
+	met *parserMetrics
+}
+
+// Instrument attaches cache-effectiveness counters (parse_entries_total,
+// parse_cache_hits_total, parse_cache_misses_total,
+// parse_singleflight_waits_total) to the parser. Call before the first
+// ParseEntry; a nil registry leaves the parser on the zero-overhead path.
+func (p *Parser) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	p.met = &parserMetrics{
+		entries: reg.Counter("parse_entries_total"),
+		misses:  reg.Counter("parse_cache_misses_total"),
+		hits:    reg.Counter("parse_cache_hits_total"),
+		waits:   reg.Counter("parse_singleflight_waits_total"),
+	}
 }
 
 // NewParser returns a Parser with an empty cache.
@@ -121,7 +153,7 @@ func NewParser() *Parser {
 
 // lookup returns the cache slot for a statement, creating it if needed, and
 // reports whether this caller created it.
-func (p *Parser) lookup(stmt string) *result {
+func (p *Parser) lookup(stmt string) (*result, bool) {
 	sh := &p.shards[maphash.String(hashSeed, stmt)&(shardCount-1)]
 	sh.mu.Lock()
 	r, ok := sh.m[stmt]
@@ -130,13 +162,27 @@ func (p *Parser) lookup(stmt string) *result {
 		sh.m[stmt] = r
 	}
 	sh.mu.Unlock()
-	return r
+	return r, !ok
 }
 
 // ParseEntry parses one log entry, consulting the shared cache.
 func (p *Parser) ParseEntry(e logmodel.Entry) Entry {
-	r := p.lookup(e.Statement)
-	r.once.Do(func() { r.c = parseOne(e.Statement) })
+	r, created := p.lookup(e.Statement)
+	if m := p.met; m != nil {
+		m.entries.Inc()
+		switch {
+		case created:
+			m.misses.Inc()
+		case r.done.Load():
+			m.hits.Inc()
+		default:
+			m.waits.Inc()
+		}
+	}
+	r.once.Do(func() {
+		r.c = parseOne(e.Statement)
+		r.done.Store(true)
+	})
 	return Entry{Entry: e, Class: r.c.class, Info: r.c.info, Err: r.c.err}
 }
 
@@ -174,13 +220,19 @@ func (p *Parser) Parse(l logmodel.Log) (Log, Stats) {
 // Parse: entries keep log order and identical texts share one
 // *skeleton.Info. Only wall-clock time differs.
 func (p *Parser) ParseParallel(l logmodel.Log, workers int) (Log, Stats) {
+	return p.ParseParallelSpan(l, workers, nil)
+}
+
+// ParseParallelSpan is ParseParallel with per-worker child spans attached
+// to sp (nil sp skips tracing; the result is unchanged either way).
+func (p *Parser) ParseParallelSpan(l logmodel.Log, workers int, sp *obs.Span) (Log, Stats) {
 	if parallel.Workers(workers) <= 1 {
 		return p.Parse(l)
 	}
 	out := make(Log, len(l))
 	var mu sync.Mutex
 	var st Stats
-	parallel.Chunks(workers, len(l), func(lo, hi int) {
+	parallel.ChunksSpan(sp, workers, len(l), func(lo, hi int) {
 		var local Stats
 		for i := lo; i < hi; i++ {
 			pe := p.ParseEntry(l[i])

@@ -7,7 +7,10 @@ package pattern
 // they are noise for user-interest analyses, so the framework can label and
 // optionally exclude them.
 
-import "sqlclean/internal/parallel"
+import (
+	"sqlclean/internal/obs"
+	"sqlclean/internal/parallel"
+)
 
 // SWSOptions are the two thresholds of the paper's Table 8 plus the
 // disjointness requirement.
@@ -64,7 +67,14 @@ func ClassifySWS(templates []TemplateStats, totalSelects int, opt SWSOptions) ma
 // Classification is per template and order-free, so the result set is
 // identical to ClassifySWS for every worker count.
 func ClassifySWSParallel(templates []TemplateStats, totalSelects int, opt SWSOptions, workers int) map[uint64]bool {
-	verdicts := parallel.Map(workers, templates, func(_ int, t TemplateStats) bool {
+	return ClassifySWSParallelSpan(templates, totalSelects, opt, workers, nil)
+}
+
+// ClassifySWSParallelSpan is ClassifySWSParallel with per-worker child
+// spans attached to sp (nil sp skips tracing; the result is unchanged
+// either way).
+func ClassifySWSParallelSpan(templates []TemplateStats, totalSelects int, opt SWSOptions, workers int, sp *obs.Span) map[uint64]bool {
+	verdicts := parallel.MapSpan(sp, workers, templates, func(_ int, t TemplateStats) bool {
 		return IsSWS(t, totalSelects, opt)
 	})
 	out := map[uint64]bool{}

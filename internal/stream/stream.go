@@ -19,6 +19,7 @@ import (
 
 	"sqlclean/internal/antipattern"
 	"sqlclean/internal/logmodel"
+	"sqlclean/internal/obs"
 	"sqlclean/internal/parsedlog"
 	"sqlclean/internal/pattern"
 	"sqlclean/internal/rewrite"
@@ -43,6 +44,14 @@ type Config struct {
 	// ExtraRules and ExtraSolvers extend the registry (§5.4).
 	ExtraRules   []antipattern.Rule
 	ExtraSolvers []rewrite.Solver
+	// Metrics is an optional observability registry. When non-nil the
+	// processor keeps live gauges and counters in it: stream_open_sessions
+	// (whose Max is the high-water mark — the proof of the bounded-memory
+	// claim), stream_entries_in_total, stream_selects_total,
+	// stream_duplicates_total, stream_entries_out_total,
+	// stream_sessions_emitted_total, and a session-length histogram. Nil
+	// keeps the zero-overhead path.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +80,11 @@ type Stats struct {
 	Antipatterns map[antipattern.Kind]int
 	// SolvedQueries counts statements consumed by solved instances.
 	SolvedQueries int
+	// SessionsEmitted counts sessions closed and emitted.
+	SessionsEmitted int
+	// OpenSessionsHighWater is the peak number of simultaneously open
+	// sessions — the stream's actual memory bound.
+	OpenSessionsHighWater int
 }
 
 // Processor is the streaming pipeline. Not safe for concurrent use.
@@ -91,6 +105,21 @@ type Processor struct {
 	templateAgg map[uint64]*templateAgg
 
 	stats Stats
+	met   streamMetrics
+}
+
+// streamMetrics are the optional registry hooks; all fields are nil (no-op)
+// without Config.Metrics.
+type streamMetrics struct {
+	in         *obs.Counter
+	selects    *obs.Counter
+	dups       *obs.Counter
+	out        *obs.Counter
+	emitted    *obs.Counter
+	open       *obs.Gauge
+	sessionLen *obs.Histogram
+	solvedAway *obs.Counter
+	instances  *obs.Counter
 }
 
 type dupKey struct{ user, stmt string }
@@ -120,7 +149,7 @@ func New(cfg Config) *Processor {
 	}
 	solvers := rewrite.DefaultSolvers(cfg.Catalog)
 	solvers = append(solvers, cfg.ExtraSolvers...)
-	return &Processor{
+	p := &Processor{
 		cfg:         cfg,
 		parser:      parsedlog.NewParser(),
 		reg:         reg,
@@ -129,6 +158,21 @@ func New(cfg Config) *Processor {
 		lastSeen:    map[dupKey]time.Time{},
 		templateAgg: map[uint64]*templateAgg{},
 	}
+	if m := cfg.Metrics; m != nil {
+		p.parser.Instrument(m)
+		p.met = streamMetrics{
+			in:         m.Counter("stream_entries_in_total"),
+			selects:    m.Counter("stream_selects_total"),
+			dups:       m.Counter("stream_duplicates_total"),
+			out:        m.Counter("stream_entries_out_total"),
+			emitted:    m.Counter("stream_sessions_emitted_total"),
+			open:       m.Gauge("stream_open_sessions"),
+			sessionLen: m.Histogram("stream_session_entries", obs.SizeBuckets),
+			solvedAway: m.Counter("stream_solved_queries_total"),
+			instances:  m.Counter("stream_instances_total"),
+		}
+	}
+	return p
 }
 
 // Stats returns the accumulated counters.
@@ -144,6 +188,7 @@ func (p *Processor) OpenSessions() int { return len(p.open) }
 // ordering contract).
 func (p *Processor) Add(e logmodel.Entry) (logmodel.Log, error) {
 	p.stats.In++
+	p.met.in.Inc()
 	if e.Time.Before(p.watermark.Add(-p.cfg.SessionGap)) {
 		return nil, fmt.Errorf("stream: entry at %v arrived after watermark %v (input must be time-ordered)", e.Time, p.watermark)
 	}
@@ -161,8 +206,10 @@ func (p *Processor) Add(e logmodel.Entry) (logmodel.Log, error) {
 		p.lastSeen[k] = e.Time
 		if seen && e.Time.Sub(prev) <= p.cfg.DuplicateThreshold {
 			p.stats.Duplicates++
+			p.met.dups.Inc()
 		} else {
 			p.stats.Selects++
+			p.met.selects.Inc()
 			p.recordTemplate(pe)
 			os := p.open[e.User]
 			if os != nil {
@@ -177,6 +224,10 @@ func (p *Processor) Add(e logmodel.Entry) (logmodel.Log, error) {
 			if os == nil {
 				os = &openSession{user: e.User, label: e.Session}
 				p.open[e.User] = os
+				if n := len(p.open); n > p.stats.OpenSessionsHighWater {
+					p.stats.OpenSessionsHighWater = n
+				}
+				p.met.open.Set(int64(len(p.open)))
 			}
 			os.entries = append(os.entries, pe)
 			os.last = e.Time
@@ -197,6 +248,7 @@ func (p *Processor) Add(e logmodel.Entry) (logmodel.Log, error) {
 			delete(p.open, user)
 		}
 	}
+	p.met.open.Set(int64(len(p.open)))
 	sortByTime(out)
 	return out, nil
 }
@@ -213,6 +265,7 @@ func (p *Processor) Close() logmodel.Log {
 		out = append(out, p.closeSession(p.open[u])...)
 		delete(p.open, u)
 	}
+	p.met.open.Set(0)
 	sortByTime(out)
 	return out
 }
@@ -228,6 +281,9 @@ func sortByTime(l logmodel.Log) {
 
 // closeSession runs detection and solving over one finished session.
 func (p *Processor) closeSession(os *openSession) logmodel.Log {
+	p.stats.SessionsEmitted++
+	p.met.emitted.Inc()
+	p.met.sessionLen.Observe(int64(len(os.entries)))
 	idxs := make([]int, len(os.entries))
 	for i := range idxs {
 		idxs[i] = i
@@ -240,11 +296,14 @@ func (p *Processor) closeSession(os *openSession) logmodel.Log {
 	for _, in := range instances {
 		p.stats.Antipatterns[in.Kind]++
 	}
+	p.met.instances.Add(int64(len(instances)))
 	res := rewrite.Apply(os.entries, instances, p.solvers)
 	for _, s := range res.Stats {
 		p.stats.SolvedQueries += s.QueriesBefore
+		p.met.solvedAway.Add(int64(s.QueriesBefore))
 	}
 	p.stats.Out += len(res.Clean)
+	p.met.out.Add(int64(len(res.Clean)))
 	return res.Clean
 }
 

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"fmt"
 	"sort"
 	"testing"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"sqlclean/internal/antipattern"
 	"sqlclean/internal/core"
 	"sqlclean/internal/logmodel"
+	"sqlclean/internal/obs"
 	"sqlclean/internal/workload"
 )
 
@@ -187,5 +189,65 @@ func TestStreamBoundedMemory(t *testing.T) {
 	// user count on a 5-year log.
 	if maxOpen > users/2 {
 		t.Errorf("weak eviction: %d open of %d users", maxOpen, users)
+	}
+}
+
+// TestStreamHighWaterMarkGauge pins the observable version of the memory
+// bound: with many users interleaving over many rounds, the open-session
+// gauge's high-water mark stays at the concurrent-user count, far below the
+// total number of sessions the stream emits. This is the metric a production
+// deployment would alert on.
+func TestStreamHighWaterMarkGauge(t *testing.T) {
+	const (
+		users  = 50
+		rounds = 10
+	)
+	base := time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC)
+	reg := obs.NewRegistry()
+	p := New(Config{Metrics: reg})
+	// Each round, every user issues a burst of queries; rounds are spaced
+	// further apart than the session gap, so every round closes every
+	// user's session — users×rounds sessions total, only `users` ever open.
+	for round := 0; round < rounds; round++ {
+		roundStart := base.Add(time.Duration(round) * time.Hour)
+		for q := 0; q < 3; q++ {
+			for u := 0; u < users; u++ {
+				e := logmodel.Entry{
+					Time:      roundStart.Add(time.Duration(q)*time.Second + time.Duration(u)*time.Millisecond),
+					User:      fmt.Sprintf("user%02d", u),
+					Statement: fmt.Sprintf("SELECT name FROM Employees WHERE id = %d", round*1000+q),
+				}
+				if _, err := p.Add(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	p.Close()
+
+	st := p.Stats()
+	totalSessions := users * rounds
+	if st.SessionsEmitted != totalSessions {
+		t.Fatalf("sessions emitted: %d, want %d", st.SessionsEmitted, totalSessions)
+	}
+	if st.OpenSessionsHighWater > users {
+		t.Errorf("high-water mark %d exceeds concurrent users %d", st.OpenSessionsHighWater, users)
+	}
+	if st.OpenSessionsHighWater < users {
+		t.Errorf("high-water mark %d never reached full concurrency %d", st.OpenSessionsHighWater, users)
+	}
+	// The gauge's Max agrees with the stats field, and the final value is 0.
+	g := reg.Gauge("stream_open_sessions")
+	if got := int(g.Max()); got != st.OpenSessionsHighWater {
+		t.Errorf("gauge max %d != stats high water %d", got, st.OpenSessionsHighWater)
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge not drained at close: %d", g.Value())
+	}
+	if int(g.Max()) >= totalSessions {
+		t.Errorf("memory bound violated: peak %d not below total sessions %d", int(g.Max()), totalSessions)
+	}
+	if got := reg.Counter("stream_sessions_emitted_total").Value(); got != int64(totalSessions) {
+		t.Errorf("emitted counter %d, want %d", got, totalSessions)
 	}
 }

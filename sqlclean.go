@@ -25,12 +25,16 @@ package sqlclean
 
 import (
 	"io"
+	"net/http"
+	"time"
 
 	"sqlclean/internal/antipattern"
 	"sqlclean/internal/core"
 	"sqlclean/internal/dedup"
 	"sqlclean/internal/logmodel"
+	"sqlclean/internal/obs"
 	"sqlclean/internal/overlap"
+	"sqlclean/internal/parallel"
 	"sqlclean/internal/parsedlog"
 	"sqlclean/internal/pattern"
 	"sqlclean/internal/recommend"
@@ -226,6 +230,47 @@ func WriteResultJSON(w io.Writer, res *Result, maxInstances int) error {
 // ReadResultJSON reads back an analysis document written by
 // WriteResultJSON.
 func ReadResultJSON(r io.Reader) (AnalysisDoc, error) { return core.ReadJSON(r) }
+
+// Metrics is the observability registry: atomic counters, gauges with
+// high-water marks, fixed-bucket histograms and text metrics, scrape-able
+// as Prometheus text. Pass one as Config.Metrics / StreamConfig.Metrics to
+// instrument a run's hot paths; a nil registry keeps every instrumented
+// path on the zero-overhead fast path.
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty observability registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// StageTiming is one node of a run's stage-timing tree (Report.Stages).
+type StageTiming = obs.StageTiming
+
+// MetricsSnapshot is a point-in-time copy of a registry's metrics.
+type MetricsSnapshot = obs.Snapshot
+
+// ProgressSample is one observation for a progress reporter.
+type ProgressSample = obs.ProgressSample
+
+// Progress periodically renders a one-line live status of a long run.
+type Progress = obs.Progress
+
+// NewProgress returns an unstarted progress reporter writing to w every
+// interval (0 selects 1 s); sample is called on each tick and must be safe
+// to call concurrently with the run (registry reads are).
+func NewProgress(w io.Writer, interval time.Duration, sample func() ProgressSample) *Progress {
+	return obs.NewProgress(w, interval, sample)
+}
+
+// InstrumentParallel publishes worker-pool utilization metrics
+// (parallel_* counters and the workers-active gauge) into the registry.
+// Process-wide; a nil registry detaches.
+func InstrumentParallel(m *Metrics) { parallel.Instrument(m) }
+
+// ServeDebug starts the observability HTTP server on addr (e.g. ":6060"),
+// serving /metrics (Prometheus text), /debug/pprof/ and /debug/vars. It
+// returns the bound address (useful with ":0") and the server handle.
+func ServeDebug(addr string, m *Metrics) (string, *http.Server, error) {
+	return obs.Serve(addr, m)
+}
 
 // StreamConfig configures the bounded-memory streaming pipeline.
 type StreamConfig = stream.Config
