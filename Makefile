@@ -1,9 +1,17 @@
 GO ?= go
 
-# The benchmarks of record (see `bench` below).
-BENCH_REGEX = BenchmarkParseParallel|BenchmarkPipelineParallel|BenchmarkPipelineSeedSerial
+# Version stamp injected into both binaries (see internal/buildinfo).
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+COMMIT  ?= $(shell git rev-parse HEAD 2>/dev/null || echo "")
+DATE    ?= $(shell date -u +%Y-%m-%dT%H:%M:%SZ)
+LDFLAGS  = -X sqlclean/internal/buildinfo.Version=$(VERSION) \
+           -X sqlclean/internal/buildinfo.Commit=$(COMMIT) \
+           -X sqlclean/internal/buildinfo.Date=$(DATE)
 
-.PHONY: check build test race bench bench-json vet
+# The benchmarks of record (see `bench` below).
+BENCH_REGEX = BenchmarkParseParallel|BenchmarkPipelineParallel|BenchmarkPipelineSeedSerial|BenchmarkDedupSharded|BenchmarkStreamSharded
+
+.PHONY: check build binaries test race bench bench-json vet smoke
 
 # Default: everything the CI gate runs.
 check: vet test race
@@ -11,16 +19,22 @@ check: vet test race
 build:
 	$(GO) build ./...
 
+# Version-stamped binaries: the batch CLI and the ingestion daemon.
+binaries:
+	$(GO) build -ldflags "$(LDFLAGS)" -o bin/sqlclean ./cmd/sqlclean
+	$(GO) build -ldflags "$(LDFLAGS)" -o bin/sqlcleand ./cmd/sqlcleand
+
 test:
 	$(GO) test ./...
 
-# The concurrency tests (parsedlog hammer, core determinism) are only
-# meaningful under the race detector.
+# The concurrency tests (parsedlog hammer, core determinism, sharded stream
+# and server) are only meaningful under the race detector.
 race:
 	$(GO) test -race ./...
 
-# Benchmarks of record: parse/pipeline scaling across worker counts plus the
-# seed-cost baseline (see DESIGN.md, "Parallel execution").
+# Benchmarks of record: parse/pipeline scaling across worker counts, the
+# seed-cost baseline, and the sharded dedup/stream engines (see DESIGN.md,
+# "Parallel execution" and "Service architecture").
 bench:
 	$(GO) test -bench '$(BENCH_REGEX)' -benchmem -run '^$$' .
 
@@ -28,6 +42,11 @@ bench:
 # B/op, allocs/op. Commit BENCH_pipeline.json to track regressions per PR.
 bench-json:
 	$(GO) test -bench '$(BENCH_REGEX)' -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_pipeline.json
+
+# End-to-end smoke of the ingestion daemon: build, start, ingest a generated
+# log over HTTP, assert /healthz and a non-empty /report, drain.
+smoke: binaries
+	./scripts/smoke.sh
 
 vet:
 	$(GO) vet ./...

@@ -702,6 +702,90 @@ func BenchmarkPipelineSeedSerial(b *testing.B) {
 	}
 }
 
+// benchBig caches a scale-4 (~40k entry) log: large enough that the sharded
+// dedup takes its parallel path (it falls back to the serial window below a
+// few thousand entries, where fan-out costs more than it saves).
+var (
+	benchBigOnce sync.Once
+	benchBigLog  logmodel.Log
+)
+
+func benchBigSetup(b *testing.B) logmodel.Log {
+	b.Helper()
+	benchBigOnce.Do(func() {
+		benchBigLog, _ = workload.Generate(workload.DefaultConfig().Scale(4))
+		benchBigLog.SortStable()
+	})
+	return benchBigLog
+}
+
+// BenchmarkDedupSharded measures §5.2 duplicate deletion: the serial sliding
+// window against the sharded variant at several worker counts on the scale-4
+// log. The sharded form partitions by (user, statement) hash — every dedup
+// key lives wholly in one shard, so the per-shard windows are independent.
+// On multi-core hosts the speedup approaches the worker count; on a
+// single-core host the rows collapse to the serial cost plus the bucketing
+// passes.
+func BenchmarkDedupSharded(b *testing.B) {
+	log := benchBigSetup(b)
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, res := dedup.Remove(log, time.Second)
+			if len(out) == 0 || res.Removed == 0 {
+				b.Fatal("bad dedup")
+			}
+		}
+	})
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, res := dedup.RemoveSharded(log, time.Second, w)
+				if len(out) == 0 || res.Removed == 0 {
+					b.Fatal("bad dedup")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamSharded measures the streaming pipeline: the serial
+// processor against the user-sharded engine at several worker counts
+// (sessions are per user, so partitions process concurrently end to end —
+// parse, dedup, detect, solve).
+func BenchmarkStreamSharded(b *testing.B) {
+	log, _ := benchSetup(b)
+	sorted := append(logmodel.Log(nil), log...)
+	sorted.SortStable()
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, st, err := stream.Run(sorted, stream.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) == 0 || st.Out == 0 {
+				b.Fatal("empty stream output")
+			}
+		}
+	})
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, st, err := stream.RunSharded(sorted, stream.ShardedConfig{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(out) == 0 || st.Out == 0 {
+					b.Fatal("empty stream output")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRecommendTraining measures training the §7 next-query
 // recommender on the pre-clean log.
 func BenchmarkRecommendTraining(b *testing.B) {

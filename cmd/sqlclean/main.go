@@ -43,8 +43,13 @@ func main() {
 		progress   = flag.Bool("progress", false, "render a live progress line (rate, ETA) on stderr")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/pprof/ and /debug/vars on this address (e.g. :6060)")
 		timing     = flag.Bool("timing", false, "print the per-stage timing tree after the run")
+		version    = flag.Bool("version", false, "print the build stamp and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("sqlclean", sqlclean.Version())
+		return
+	}
 
 	// Observability: one registry feeds the debug endpoint, the progress
 	// reporter and the pipeline's hot-path counters.
@@ -82,7 +87,7 @@ func main() {
 		if *format != "tsv" {
 			fatal(fmt.Errorf("-stream supports tsv input only"))
 		}
-		runStreaming(r, *dup, *gap, *noKeyCheck, *cleanOut, metrics, *progress)
+		runStreaming(r, *dup, *gap, *noKeyCheck, *cleanOut, *jsonOut, metrics, *progress)
 		return
 	}
 
@@ -228,8 +233,10 @@ func printTiming(w io.Writer, st sqlclean.StageTiming, depth int) {
 }
 
 // runStreaming cleans the log with the bounded-memory streaming pipeline,
-// writing cleaned entries as their sessions close.
-func runStreaming(r io.Reader, dup, gap time.Duration, noKeyCheck bool, cleanOut string, metrics *sqlclean.Metrics, progress bool) {
+// writing cleaned entries as their sessions close. -json exports the
+// streaming stats and template statistics (same JSON names as the daemon's
+// GET /report "stream" block).
+func runStreaming(r io.Reader, dup, gap time.Duration, noKeyCheck bool, cleanOut, jsonOut string, metrics *sqlclean.Metrics, progress bool) {
 	out := os.Stdout
 	if cleanOut != "" {
 		f, err := os.Create(cleanOut)
@@ -277,4 +284,14 @@ func runStreaming(r io.Reader, dup, gap time.Duration, noKeyCheck bool, cleanOut
 	st := p.Stats()
 	fmt.Fprintf(os.Stderr, "stream: %d in, %d selects, %d duplicates, %d out, %d queries solved away\n",
 		st.In, st.Selects, st.Duplicates, st.Out, st.Selects-st.Duplicates-st.Out)
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := sqlclean.WriteStreamJSON(f, p); err != nil {
+			fatal(err)
+		}
+	}
 }

@@ -1,0 +1,129 @@
+// Command sqlcleand is the log-cleaning daemon: it accepts raw query-log
+// entries over HTTP while they are being produced and keeps an incremental
+// cleaning report current.
+//
+// Usage:
+//
+//	sqlcleand [-addr :8080] [-dup 1s] [-gap 5m] [-no-key-check]
+//	          [-shards 0] [-queue 1024] [-max-body 32] [-clean out.tsv]
+//	          [-version]
+//
+// Endpoints:
+//
+//	POST /ingest   NDJSON entries {"time","user","session","rows","statement"},
+//	               or TSV lines with ?format=tsv; 429 + Retry-After when the
+//	               ingest queues are full
+//	GET  /report   incremental cleaning report (JSON)
+//	GET  /healthz  liveness, version, queue and session state
+//	GET  /metrics  Prometheus text; /debug/pprof/ and /debug/vars too
+//
+// SIGINT/SIGTERM shut down gracefully: in-flight requests finish, the queues
+// drain, and every open session is flushed through detection and solving
+// before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sqlclean"
+	"sqlclean/internal/buildinfo"
+	"sqlclean/internal/logmodel"
+	"sqlclean/internal/server"
+	"sqlclean/internal/stream"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		dup        = flag.Duration("dup", time.Second, "duplicate time threshold")
+		gap        = flag.Duration("gap", 5*time.Minute, "session gap: silence that closes a user's session")
+		noKeyCheck = flag.Bool("no-key-check", false, "drop Definition 11's key-attribute requirement for Stifles")
+		shards     = flag.Int("shards", 0, "user-hash partitions (0 = 2×GOMAXPROCS, min 8; rounded up to a power of two)")
+		queue      = flag.Int("queue", 1024, "per-shard ingest queue capacity")
+		maxBody    = flag.Int64("max-body", 32, "maximum request body in MiB")
+		cleanOut   = flag.String("clean", "", "append cleaned entries (TSV) to this file as sessions close")
+		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for draining queues and flushing sessions")
+		version    = flag.Bool("version", false, "print the build stamp and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println("sqlcleand", buildinfo.String())
+		return
+	}
+
+	var emit func(logmodel.Log)
+	if *cleanOut != "" {
+		f, err := os.OpenFile(*cleanOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		// The server serializes Emit calls, so plain writes are safe.
+		emit = func(l logmodel.Log) {
+			if err := logmodel.WriteTSV(f, l); err != nil {
+				fmt.Fprintln(os.Stderr, "sqlcleand: write clean log:", err)
+			}
+		}
+	}
+
+	metrics := sqlclean.NewMetrics()
+	sqlclean.InstrumentParallel(metrics)
+	srv := server.New(server.Config{
+		Stream: stream.ShardedConfig{
+			Shards: *shards,
+			Config: stream.Config{
+				DuplicateThreshold: *dup,
+				SessionGap:         *gap,
+				DisableKeyCheck:    *noKeyCheck,
+			},
+		},
+		QueueSize:    *queue,
+		MaxBodyBytes: *maxBody << 20,
+		Metrics:      metrics,
+		Emit:         emit,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "sqlcleand %s listening on %s (%d shards)\n",
+		buildinfo.Short(), *addr, srv.Engine().NumShards())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "sqlcleand: %v, draining\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "sqlcleand: http shutdown:", err)
+	}
+	if err := srv.Close(ctx); err != nil {
+		fatal(fmt.Errorf("drain: %w", err))
+	}
+	st := srv.Engine().Stats()
+	fmt.Fprintf(os.Stderr, "sqlcleand: done: %d in, %d selects, %d duplicates, %d out, %d sessions\n",
+		st.In, st.Selects, st.Duplicates, st.Out, st.SessionsEmitted)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sqlcleand:", err)
+	os.Exit(1)
+}

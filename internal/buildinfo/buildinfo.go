@@ -1,0 +1,66 @@
+// Package buildinfo carries the version stamp shared by every binary in the
+// module. The Makefile injects the values at link time:
+//
+//	go build -ldflags "-X sqlclean/internal/buildinfo.Version=v1.2.3 ..."
+//
+// Unstamped builds (plain `go build`, `go run`, tests) fall back to the Go
+// toolchain's embedded VCS metadata when available, so -version and /healthz
+// are never empty.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Set via -ldflags -X; see the Makefile's LDFLAGS.
+var (
+	// Version is the human-readable release (git describe).
+	Version = "dev"
+	// Commit is the full VCS revision.
+	Commit = ""
+	// Date is the build timestamp (RFC 3339).
+	Date = ""
+)
+
+// vcsFallback fills Commit/Date from debug.ReadBuildInfo for unstamped
+// builds. Returns silently when no VCS metadata is embedded.
+func vcsFallback() {
+	if Commit != "" {
+		return
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			Commit = s.Value
+		case "vcs.time":
+			if Date == "" {
+				Date = s.Value
+			}
+		}
+	}
+}
+
+// Short returns the one-token version (e.g. "v1.2.3" or "dev").
+func Short() string { return Version }
+
+// String returns the full build stamp, e.g.
+// "v1.2.3 (commit 0a1b2c3d, built 2026-08-05T12:00:00Z)".
+func String() string {
+	vcsFallback()
+	commit := Commit
+	if commit == "" {
+		commit = "unknown"
+	} else if len(commit) > 12 {
+		commit = commit[:12]
+	}
+	date := Date
+	if date == "" {
+		date = "unknown"
+	}
+	return fmt.Sprintf("%s (commit %s, built %s)", Version, commit, date)
+}

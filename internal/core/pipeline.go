@@ -275,7 +275,7 @@ func Run(input logmodel.Log, cfg Config) (*Result, error) {
 		res.Parsed = selParsed
 	} else {
 		var kept []int
-		res.PreClean, kept, res.Dedup = dedup.RemoveIndexed(selParsed.Raw(), cfg.DuplicateThreshold)
+		res.PreClean, kept, res.Dedup = dedup.RemoveShardedIndexed(selParsed.Raw(), cfg.DuplicateThreshold, cfg.Workers)
 		res.Parsed = selParsed.Subset(kept)
 	}
 	res.Report.DuplicatesFound = res.Dedup.Removed

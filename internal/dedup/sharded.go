@@ -1,0 +1,129 @@
+// Sharded duplicate deletion: the parallel variant of Remove. The sliding
+// window of §5.2 compares each entry only against the previous occurrence of
+// the same (user, statement) pair, so the scan decomposes perfectly along
+// key boundaries: partition entries by key hash, run one independent sliding
+// window per partition, and merge the keep/drop decisions back in log order.
+// The result is bit-identical to Remove for every input and threshold — only
+// wall-clock time changes.
+package dedup
+
+import (
+	"hash/maphash"
+	"time"
+
+	"sqlclean/internal/logmodel"
+	"sqlclean/internal/parallel"
+)
+
+// shardCount partitions the key space. A power of two well above the worker
+// counts we target keeps the per-shard maps small and lets the pool's chunk
+// oversubscription balance skewed shards (one hot statement text lands in
+// one shard, but 256 shards per ≤ 32 workers leaves plenty to steal).
+const shardCount = 256
+
+// shardedMinInput is the input size below which the three extra O(n) passes
+// (hash, bucket, assemble) cost more than the map work they parallelize.
+// A var so tests can force the sharded path on small inputs.
+var shardedMinInput = 4096
+
+// shardSeed makes shard selection consistent within a process. It only picks
+// the shard a key lives in; equality inside a shard is exact, so hash
+// collisions cost balance, never correctness.
+var shardSeed = maphash.MakeSeed()
+
+// RemoveSharded is Remove with the sliding window partitioned across up to
+// `workers` goroutines (0 selects GOMAXPROCS, 1 forces the serial scan).
+// Output, order and statistics are identical to Remove.
+func RemoveSharded(l logmodel.Log, threshold time.Duration, workers int) (logmodel.Log, Result) {
+	out, _, res := removeSharded(l, threshold, workers, false)
+	return out, res
+}
+
+// RemoveShardedIndexed is RemoveSharded plus the kept-entry indices, the
+// parallel counterpart of RemoveIndexed.
+func RemoveShardedIndexed(l logmodel.Log, threshold time.Duration, workers int) (logmodel.Log, []int, Result) {
+	return removeSharded(l, threshold, workers, true)
+}
+
+func removeSharded(l logmodel.Log, threshold time.Duration, workers int, wantIndices bool) (logmodel.Log, []int, Result) {
+	w := parallel.Workers(workers)
+	if w <= 1 || len(l) < shardedMinInput {
+		return remove(l, threshold, wantIndices)
+	}
+
+	// Pass 1 (parallel): hash every (user, statement) key to its shard.
+	shardOf := make([]uint8, len(l))
+	parallel.Chunks(w, len(l), func(lo, hi int) {
+		var h maphash.Hash
+		for i := lo; i < hi; i++ {
+			h.SetSeed(shardSeed)
+			h.WriteString(l[i].User)
+			h.WriteByte(0)
+			h.WriteString(l[i].Statement)
+			shardOf[i] = uint8(h.Sum64() & (shardCount - 1))
+		}
+	})
+
+	// Pass 2 (serial, O(n)): bucket indices per shard with a counting sort.
+	// The sort is stable, so each shard sees its entries in log order.
+	var counts [shardCount]int
+	for _, s := range shardOf {
+		counts[s]++
+	}
+	var offs [shardCount + 1]int
+	for s, c := range counts {
+		offs[s+1] = offs[s] + c
+	}
+	byShard := make([]int32, len(l))
+	next := offs
+	for i, s := range shardOf {
+		byShard[next[s]] = int32(i)
+		next[s]++
+	}
+
+	// Pass 3 (parallel): one independent sliding window per shard. Shards
+	// write disjoint drop[i] slots and their own removed counter, so no
+	// synchronization is needed beyond the pool's completion barrier.
+	drop := make([]bool, len(l))
+	var removed [shardCount]int
+	parallel.ShardRun(w, shardCount, func(s int) {
+		idxs := byShard[offs[s]:offs[s+1]]
+		if len(idxs) == 0 {
+			return
+		}
+		last := make(map[dupKey]time.Time, len(idxs)/2+1)
+		n := 0
+		for _, i := range idxs {
+			e := &l[i]
+			k := dupKey{user: e.User, stmt: e.Statement}
+			prev, seen := last[k]
+			last[k] = e.Time
+			if seen && (threshold == Unrestricted || e.Time.Sub(prev) <= threshold) {
+				drop[i] = true
+				n++
+			}
+		}
+		removed[s] = n
+	})
+
+	// Pass 4 (serial): assemble the kept entries in log order.
+	res := Result{Threshold: threshold}
+	for _, n := range removed {
+		res.Removed += n
+	}
+	out := make(logmodel.Log, 0, len(l)-res.Removed)
+	var kept []int
+	if wantIndices {
+		kept = make([]int, 0, len(l)-res.Removed)
+	}
+	for i, e := range l {
+		if drop[i] {
+			continue
+		}
+		out = append(out, e)
+		if wantIndices {
+			kept = append(kept, i)
+		}
+	}
+	return out, kept, res
+}

@@ -108,6 +108,60 @@ func Chunks(workers, n int, fn func(lo, hi int)) {
 	ChunksSpan(nil, workers, n, fn)
 }
 
+// ShardRun invokes fn(s) once for every shard index in [0, n) using up to
+// `workers` goroutines. It is Chunks without the small-input serial floor:
+// shard counts are small (tens to hundreds) but each shard carries a heavy,
+// independent unit of work — a per-shard dedup window, a stream partition —
+// so fanning out pays even for n far below minParallel. Shards are handed
+// out one at a time, which is also the load-balancing: a worker that drew a
+// light shard immediately grabs the next. fn must be safe for concurrent
+// use. With workers <= 1 or n <= 1 everything runs on the calling goroutine.
+func ShardRun(workers, n int, fn func(s int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for s := 0; s < n; s++ {
+			fn(s)
+		}
+		return
+	}
+	m := metrics.Load()
+	if m != nil {
+		m.fanouts.Inc()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			if m != nil {
+				m.active.Add(1)
+				defer m.active.Add(-1)
+			}
+			var chunks int64
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= n {
+					break
+				}
+				fn(s)
+				chunks++
+			}
+			if m != nil {
+				m.chunks.Add(chunks)
+				m.items.Add(chunks)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // ChunksSpan is Chunks with observability: when sp is non-nil and the
 // parallel path is taken, each worker goroutine records a child span
 // ("worker00", ...) carrying its busy time, chunk count and item count —

@@ -1,0 +1,479 @@
+// Package server is the log-cleaning service: a long-running HTTP ingestion
+// daemon wrapped around the sharded streaming engine. The paper cleans the
+// SkyServer log after the fact; the log itself is produced continuously by
+// live web and bot traffic, so the service accepts raw entries as they
+// happen (POST /ingest, NDJSON or TSV lines), pushes them through per-shard
+// bounded queues into stream.Sharded, and keeps an incremental report
+// (GET /report) current the whole time.
+//
+// Flow control is explicit: every shard has one bounded queue and one drain
+// goroutine (one goroutine per user partition preserves the engine's
+// per-user ordering contract), enqueue never blocks, and a full queue turns
+// the request into 429 so the producer — not the daemon's memory — absorbs
+// the burst. Shutdown is graceful by construction: Close stops new requests,
+// waits for in-flight ones, drains every queue, then flushes all open
+// sessions through the engine — an accepted entry is never dropped.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sqlclean/internal/buildinfo"
+	"sqlclean/internal/core"
+	"sqlclean/internal/logmodel"
+	"sqlclean/internal/obs"
+	"sqlclean/internal/parsedlog"
+	"sqlclean/internal/stream"
+)
+
+// Config configures the service.
+type Config struct {
+	// Stream configures the sharded engine (shard count, session gap,
+	// duplicate window, ...). Stream.Config.Metrics and Stream.Config.Parser
+	// default to the server's own registry and shared parser.
+	Stream stream.ShardedConfig
+	// QueueSize is the per-shard ingest queue capacity (0 selects 1024).
+	// Total buffered entries are bounded by Shards × QueueSize.
+	QueueSize int
+	// MaxBodyBytes caps one request body (0 selects 32 MiB).
+	MaxBodyBytes int64
+	// Metrics is the observability registry served on /metrics. Nil creates
+	// a fresh one.
+	Metrics *obs.Registry
+	// Version is surfaced on /healthz and /report; empty selects the
+	// build stamp.
+	Version string
+	// Emit, when non-nil, receives every batch of cleaned entries as
+	// sessions close (and the final flush). Calls are serialized.
+	Emit func(logmodel.Log)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	if c.Version == "" {
+		c.Version = buildinfo.String()
+	}
+	return c
+}
+
+// Server is the ingestion daemon. Create with New, expose Handler over an
+// http.Server, and Close to flush.
+type Server struct {
+	cfg    Config
+	reg    *obs.Registry
+	eng    *stream.Sharded
+	queues []chan logmodel.Entry
+
+	drainWG  sync.WaitGroup // drain goroutines
+	ingestWG sync.WaitGroup // in-flight ingest requests
+	closed   atomic.Bool
+	closeOne sync.Once
+	seq      atomic.Int64
+	start    time.Time
+	emitMu   sync.Mutex
+
+	mRequests      *obs.Counter
+	mAccepted      *obs.Counter
+	mRejectedFull  *obs.Counter
+	mRejectedOrder *obs.Counter
+	mBadLines      *obs.Counter
+	mEmitted       *obs.Counter
+	qDepth         *obs.Gauge
+}
+
+// New builds the engine, starts one drain goroutine per shard and returns
+// the server, ready for Handler.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	if cfg.Stream.Metrics == nil {
+		cfg.Stream.Metrics = cfg.Metrics
+	}
+	if cfg.Stream.Parser == nil {
+		// One parse cache for the whole daemon: every shard, and any batch
+		// run sharing this parser, sees one hit/miss account.
+		cfg.Stream.Parser = parsedlog.NewParser()
+		cfg.Stream.Parser.Instrument(cfg.Stream.Metrics)
+	}
+	s := &Server{
+		cfg:   cfg,
+		reg:   cfg.Metrics,
+		eng:   stream.NewSharded(cfg.Stream),
+		start: time.Now(),
+
+		mRequests:      cfg.Metrics.Counter("ingest_requests_total"),
+		mAccepted:      cfg.Metrics.Counter("ingest_accepted_total"),
+		mRejectedFull:  cfg.Metrics.Counter("ingest_rejected_full_total"),
+		mRejectedOrder: cfg.Metrics.Counter("ingest_rejected_order_total"),
+		mBadLines:      cfg.Metrics.Counter("ingest_bad_lines_total"),
+		mEmitted:       cfg.Metrics.Counter("server_emitted_entries_total"),
+		qDepth:         cfg.Metrics.Gauge("ingest_queue_depth"),
+	}
+	s.queues = make([]chan logmodel.Entry, s.eng.NumShards())
+	for i := range s.queues {
+		s.queues[i] = make(chan logmodel.Entry, cfg.QueueSize)
+		s.drainWG.Add(1)
+		go s.drain(i)
+	}
+	return s
+}
+
+// Engine exposes the underlying sharded engine (stats, templates).
+func (s *Server) Engine() *stream.Sharded { return s.eng }
+
+// drain is shard i's single consumer: it preserves per-user ordering and
+// feeds the shard processor, emitting cleaned sessions as they close.
+func (s *Server) drain(i int) {
+	defer s.drainWG.Done()
+	for e := range s.queues[i] {
+		s.qDepth.Add(-1)
+		out, err := s.eng.AddShard(i, e)
+		if err != nil {
+			// Out-of-order beyond the session gap: the engine's ordering
+			// contract rejects it. Counted, never fatal to the stream.
+			s.mRejectedOrder.Inc()
+			continue
+		}
+		s.emit(out)
+	}
+}
+
+func (s *Server) emit(l logmodel.Log) {
+	if len(l) == 0 {
+		return
+	}
+	s.mEmitted.Add(int64(len(l)))
+	if s.cfg.Emit != nil {
+		s.emitMu.Lock()
+		s.cfg.Emit(l)
+		s.emitMu.Unlock()
+	}
+}
+
+// Close gracefully shuts the pipeline down: refuse new ingests, wait for
+// in-flight requests, drain every queue, then flush all open sessions
+// through the engine (the final cleaned entries go to Emit). Safe to call
+// more than once. The context bounds the wait; on expiry the drain keeps
+// running in the background and ctx.Err is returned.
+func (s *Server) Close(ctx context.Context) error {
+	var err error
+	s.closeOne.Do(func() {
+		s.closed.Store(true)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			// Enqueues are non-blocking, so in-flight requests finish as
+			// fast as they can read their bodies; only then is closing the
+			// queues free of lost sends.
+			s.ingestWG.Wait()
+			for _, q := range s.queues {
+				close(q)
+			}
+			s.drainWG.Wait()
+			s.emit(s.eng.Close())
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+	})
+	return err
+}
+
+// Handler returns the service mux:
+//
+//	POST /ingest   NDJSON (default) or TSV log lines; 429 on full queue
+//	GET  /report   incremental cleaning report (JSON)
+//	GET  /healthz  liveness, version, queue and session state
+//	/metrics, /debug/pprof/, /debug/vars   the obs debug surface
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /report", s.handleReport)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	debug := obs.NewDebugMux(s.reg)
+	mux.Handle("/metrics", debug)
+	mux.Handle("/debug/", debug)
+	return mux
+}
+
+// wireEntry is the NDJSON ingest record.
+type wireEntry struct {
+	Time      string `json:"time"`
+	User      string `json:"user"`
+	Session   string `json:"session"`
+	Rows      *int64 `json:"rows"`
+	Statement string `json:"statement"`
+}
+
+// timeFormats accepted on ingest, tried in order.
+var timeFormats = []string{time.RFC3339Nano, logmodel.TimeFormat}
+
+func (w wireEntry) entry() (logmodel.Entry, error) {
+	if w.Statement == "" {
+		return logmodel.Entry{}, errors.New("missing statement")
+	}
+	var t time.Time
+	var err error
+	for _, f := range timeFormats {
+		if t, err = time.Parse(f, w.Time); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return logmodel.Entry{}, fmt.Errorf("bad time %q", w.Time)
+	}
+	rows := int64(-1)
+	if w.Rows != nil {
+		rows = *w.Rows
+	}
+	return logmodel.Entry{Time: t, User: w.User, Session: w.Session, Rows: rows, Statement: w.Statement}, nil
+}
+
+// errQueueFull aborts an ingest scan when a shard queue rejects an entry.
+var errQueueFull = errors.New("ingest queue full")
+
+// enqueue routes one entry; it never blocks.
+func (s *Server) enqueue(e logmodel.Entry) error {
+	e.Seq = s.seq.Add(1) - 1
+	i := s.eng.ShardFor(e.User)
+	select {
+	case s.queues[i] <- e:
+		s.qDepth.Add(1)
+		s.mAccepted.Inc()
+		return nil
+	default:
+		s.mRejectedFull.Inc()
+		return errQueueFull
+	}
+}
+
+type ingestResponse struct {
+	Accepted int    `json:"accepted"`
+	Error    string `json:"error,omitempty"`
+	Line     int    `json:"line,omitempty"` // 1-based line of the first failure
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.mRequests.Inc()
+	s.ingestWG.Add(1)
+	defer s.ingestWG.Done()
+	if s.closed.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ingestResponse{Error: "server draining"})
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+	format := r.URL.Query().Get("format")
+	if format == "" && strings.Contains(r.Header.Get("Content-Type"), "tab-separated") {
+		format = "tsv"
+	}
+
+	accepted, line, err := s.ingestLines(body, format)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, ingestResponse{Accepted: accepted})
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, ingestResponse{Accepted: accepted, Error: err.Error(), Line: line})
+	default:
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, ingestResponse{Accepted: accepted, Error: err.Error(), Line: line})
+			return
+		}
+		s.mBadLines.Inc()
+		writeJSON(w, http.StatusBadRequest, ingestResponse{Accepted: accepted, Error: err.Error(), Line: line})
+	}
+}
+
+// ingestLines scans the body line by line — constant memory per request —
+// and enqueues each entry. It stops at the first failure, returning the
+// count accepted so far and the failing 1-based line.
+func (s *Server) ingestLines(body io.Reader, format string) (accepted, line int, err error) {
+	if format == "tsv" {
+		err = logmodel.ScanTSV(body, func(e logmodel.Entry) error {
+			line++
+			if qerr := s.enqueue(e); qerr != nil {
+				return qerr
+			}
+			accepted++
+			return nil
+		})
+		if err != nil {
+			if errors.Is(err, errQueueFull) {
+				return accepted, line, err
+			}
+			return accepted, line + 1, err
+		}
+		return accepted, 0, nil
+	}
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var we wireEntry
+		if err := json.Unmarshal([]byte(text), &we); err != nil {
+			return accepted, line, fmt.Errorf("line %d: %v", line, err)
+		}
+		e, err := we.entry()
+		if err != nil {
+			return accepted, line, fmt.Errorf("line %d: %v", line, err)
+		}
+		if err := s.enqueue(e); err != nil {
+			return accepted, line, err
+		}
+		accepted++
+	}
+	if err := sc.Err(); err != nil {
+		return accepted, line + 1, err
+	}
+	return accepted, 0, nil
+}
+
+// ReportPayload is the GET /report document: the incremental counterpart of
+// the batch pipeline's export. Fields that need global statistics the stream
+// does not track (SWS classification, distinct-identity counts) stay zero.
+type ReportPayload struct {
+	Version       string              `json:"version"`
+	UptimeSeconds float64             `json:"uptime_seconds"`
+	Report        core.ReportJSON     `json:"report"`
+	Stream        stream.Stats        `json:"stream"`
+	OpenSessions  int                 `json:"open_sessions"`
+	QueueDepth    int                 `json:"queue_depth"`
+	QueueCapacity int                 `json:"queue_capacity"`
+	Templates     []core.TemplateJSON `json:"templates,omitempty"`
+}
+
+// Report assembles the current incremental report. Safe to call while
+// ingestion runs; numbers are a consistent-enough snapshot for monitoring,
+// not a barrier.
+func (s *Server) Report(topTemplates int) ReportPayload {
+	st := s.eng.Stats()
+	templates := s.eng.Templates()
+	p := ReportPayload{
+		Version:       s.cfg.Version,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Stream:        st,
+		OpenSessions:  s.eng.OpenSessions(),
+		QueueDepth:    int(s.qDepth.Value()),
+		QueueCapacity: len(s.queues) * s.cfg.QueueSize,
+	}
+	p.Report = core.ReportJSON{
+		SizeOriginal:    st.In,
+		CountSelect:     st.Selects + st.Duplicates,
+		SizeAfterDedup:  st.Selects,
+		DuplicatesFound: st.Duplicates,
+		FinalSize:       st.Out,
+		CountTemplates:  len(templates),
+		SolvePasses:     1,
+		DurationNS:      int64(time.Since(s.start)),
+	}
+	if len(templates) > 0 {
+		p.Report.MaxTemplateFreq = templates[0].Frequency
+	}
+	for kind, n := range st.Antipatterns {
+		p.Report.Antipatterns = append(p.Report.Antipatterns, core.AntipatternSummaryJSON{
+			Kind: string(kind), Instances: n,
+		})
+	}
+	sortAntipatterns(p.Report.Antipatterns)
+	if topTemplates <= 0 {
+		topTemplates = 20
+	}
+	for i, t := range templates {
+		if i >= topTemplates {
+			break
+		}
+		p.Templates = append(p.Templates, core.TemplateJSON{
+			Fingerprint:    t.Fingerprint,
+			Skeleton:       t.Skeleton,
+			Frequency:      t.Frequency,
+			UserPopularity: t.UserPopularity,
+		})
+	}
+	return p
+}
+
+func sortAntipatterns(a []core.AntipatternSummaryJSON) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j].Kind < a[j-1].Kind; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	top := 20
+	if v := r.URL.Query().Get("top"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			top = n
+		}
+	}
+	writeJSON(w, http.StatusOK, s.Report(top))
+}
+
+// HealthPayload is the GET /healthz document.
+type HealthPayload struct {
+	Status          string  `json:"status"` // "ok" or "draining"
+	Version         string  `json:"version"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	Shards          int     `json:"shards"`
+	OpenSessions    int     `json:"open_sessions"`
+	QueueDepth      int     `json:"queue_depth"`
+	QueueCapacity   int     `json:"queue_capacity"`
+	EntriesIn       int     `json:"entries_in"`
+	EntriesOut      int     `json:"entries_out"`
+	SessionsEmitted int     `json:"sessions_emitted"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.eng.Stats()
+	status := "ok"
+	if s.closed.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, HealthPayload{
+		Status:          status,
+		Version:         s.cfg.Version,
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Shards:          s.eng.NumShards(),
+		OpenSessions:    s.eng.OpenSessions(),
+		QueueDepth:      int(s.qDepth.Value()),
+		QueueCapacity:   len(s.queues) * s.cfg.QueueSize,
+		EntriesIn:       st.In,
+		EntriesOut:      st.Out,
+		SessionsEmitted: st.SessionsEmitted,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -44,6 +44,12 @@ type Config struct {
 	// ExtraRules and ExtraSolvers extend the registry (§5.4).
 	ExtraRules   []antipattern.Rule
 	ExtraSolvers []rewrite.Solver
+	// Parser optionally supplies a shared statement-parse cache. Nil gives
+	// the processor a fresh one. Sharing a parser — across the shards of a
+	// Sharded engine, or between a daemon's streaming path and a batch
+	// pipeline run — means identical statement texts are parsed once
+	// process-wide and hit/miss metrics aggregate in one place.
+	Parser *parsedlog.Parser
 	// Metrics is an optional observability registry. When non-nil the
 	// processor keeps live gauges and counters in it: stream_open_sessions
 	// (whose Max is the high-water mark — the proof of the bounded-memory
@@ -70,21 +76,41 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats accumulates over the whole stream.
+// Stats accumulates over the whole stream. The JSON names are the export
+// contract shared by the CLI's -json streaming export and the daemon's
+// GET /report payload.
 type Stats struct {
-	In         int // entries offered
-	Selects    int // parsed SELECTs
-	Duplicates int // dropped as duplicates
-	Out        int // entries emitted
+	In         int `json:"in"`         // entries offered
+	Selects    int `json:"selects"`    // parsed SELECTs kept (non-duplicate)
+	Duplicates int `json:"duplicates"` // dropped as duplicates
+	Out        int `json:"out"`        // entries emitted
 	// Antipatterns aggregates instance counts per kind.
-	Antipatterns map[antipattern.Kind]int
+	Antipatterns map[antipattern.Kind]int `json:"antipatterns,omitempty"`
 	// SolvedQueries counts statements consumed by solved instances.
-	SolvedQueries int
+	SolvedQueries int `json:"solved_queries"`
 	// SessionsEmitted counts sessions closed and emitted.
-	SessionsEmitted int
+	SessionsEmitted int `json:"sessions_emitted"`
 	// OpenSessionsHighWater is the peak number of simultaneously open
-	// sessions — the stream's actual memory bound.
-	OpenSessionsHighWater int
+	// sessions — the stream's actual memory bound. Merged across shards it
+	// is the sum of per-shard peaks, an upper bound on the true global peak.
+	OpenSessionsHighWater int `json:"open_sessions_high_water"`
+}
+
+// Merge folds another stream's counters into s (all fields are additive).
+func (s *Stats) Merge(o Stats) {
+	s.In += o.In
+	s.Selects += o.Selects
+	s.Duplicates += o.Duplicates
+	s.Out += o.Out
+	s.SolvedQueries += o.SolvedQueries
+	s.SessionsEmitted += o.SessionsEmitted
+	s.OpenSessionsHighWater += o.OpenSessionsHighWater
+	if len(o.Antipatterns) > 0 && s.Antipatterns == nil {
+		s.Antipatterns = map[antipattern.Kind]int{}
+	}
+	for k, n := range o.Antipatterns {
+		s.Antipatterns[k] += n
+	}
 }
 
 // Processor is the streaming pipeline. Not safe for concurrent use.
@@ -149,9 +175,13 @@ func New(cfg Config) *Processor {
 	}
 	solvers := rewrite.DefaultSolvers(cfg.Catalog)
 	solvers = append(solvers, cfg.ExtraSolvers...)
+	parser := cfg.Parser
+	if parser == nil {
+		parser = parsedlog.NewParser()
+	}
 	p := &Processor{
 		cfg:         cfg,
-		parser:      parsedlog.NewParser(),
+		parser:      parser,
 		reg:         reg,
 		solvers:     solvers,
 		open:        map[string]*openSession{},
@@ -239,18 +269,42 @@ func (p *Processor) Add(e logmodel.Entry) (logmodel.Log, error) {
 
 	// Watermark eviction: every user silent for longer than the gap can be
 	// closed — no future in-order entry can extend those sessions.
+	out = append(out, p.evict()...)
+	p.met.open.Set(int64(len(p.open)))
+	sortByTime(out)
+	return out, nil
+}
+
+// evict closes every open session that the watermark proves silent and
+// returns their cleaned entries (unsorted).
+func (p *Processor) evict() logmodel.Log {
+	return p.evictBefore(p.watermark)
+}
+
+func (p *Processor) evictBefore(t time.Time) logmodel.Log {
+	var out logmodel.Log
 	for user, os := range p.open {
-		if user == e.User {
-			continue
-		}
-		if p.watermark.Sub(os.last) > p.cfg.SessionGap {
+		if t.Sub(os.last) > p.cfg.SessionGap {
 			out = append(out, p.closeSession(os)...)
 			delete(p.open, user)
 		}
 	}
+	return out
+}
+
+// Advance returns the cleaned entries of any session t proves silent. It is
+// how a sharded engine merges window boundaries: one shard only observes its
+// own partition's event times, so the coordinator periodically advances every
+// shard to the global maximum, closing sessions whose silence only the other
+// partitions can prove. Advance deliberately does NOT raise the stream's
+// ordering watermark: a partition lagging behind the global clock (an ingest
+// queue with backlog) must still be allowed to add its queued entries, which
+// are in order for *its* stream even when other partitions are far ahead.
+func (p *Processor) Advance(t time.Time) logmodel.Log {
+	out := p.evictBefore(t)
 	p.met.open.Set(int64(len(p.open)))
 	sortByTime(out)
-	return out, nil
+	return out
 }
 
 // Close flushes all open sessions and returns their cleaned entries.

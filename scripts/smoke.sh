@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the sqlcleand ingestion daemon: start it, ingest a
+# generated log over HTTP, assert /healthz is OK and /report is non-empty,
+# then drain gracefully. Run via `make smoke` (which builds bin/ first).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=${BIN:-./bin/sqlcleand}
+ADDR=${ADDR:-127.0.0.1:18321}
+TMP=$(mktemp -d)
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go run ./cmd/loggen -scale 0.2 -o "$TMP/log.tsv"
+
+"$BIN" -addr "$ADDR" -clean "$TMP/clean.tsv" 2>"$TMP/daemon.log" &
+PID=$!
+
+# Wait for the daemon to listen.
+for i in $(seq 1 50); do
+  if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "smoke: daemon died:" >&2; cat "$TMP/daemon.log" >&2; exit 1
+  fi
+  sleep 0.1
+done
+
+curl -sf -X POST --data-binary "@$TMP/log.tsv" \
+  "http://$ADDR/ingest?format=tsv" >"$TMP/ingest.json"
+grep -q '"accepted": *[1-9]' "$TMP/ingest.json" || {
+  echo "smoke: ingest accepted nothing:" >&2; cat "$TMP/ingest.json" >&2; exit 1
+}
+
+curl -sf "http://$ADDR/healthz" >"$TMP/healthz.json"
+grep -q '"status": *"ok"' "$TMP/healthz.json" || {
+  echo "smoke: healthz not ok:" >&2; cat "$TMP/healthz.json" >&2; exit 1
+}
+
+curl -sf "http://$ADDR/report" >"$TMP/report.json"
+grep -q '"size_original": *[1-9]' "$TMP/report.json" || {
+  echo "smoke: report empty:" >&2; cat "$TMP/report.json" >&2; exit 1
+}
+
+curl -sf "http://$ADDR/metrics" | grep -q ingest_accepted_total || {
+  echo "smoke: /metrics missing ingest counters" >&2; exit 1
+}
+
+# Graceful drain: SIGTERM, wait, check the cleaned log was flushed.
+kill -TERM "$PID"
+wait "$PID"
+[ -s "$TMP/clean.tsv" ] || { echo "smoke: drain wrote no cleaned entries" >&2; exit 1; }
+
+echo "smoke: ok ($(wc -l <"$TMP/log.tsv") in, $(wc -l <"$TMP/clean.tsv") cleaned)"

@@ -24,11 +24,13 @@
 package sqlclean
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"time"
 
 	"sqlclean/internal/antipattern"
+	"sqlclean/internal/buildinfo"
 	"sqlclean/internal/core"
 	"sqlclean/internal/dedup"
 	"sqlclean/internal/logmodel"
@@ -295,6 +297,54 @@ func CleanStream(l Log, cfg StreamConfig) (Log, StreamStats, error) { return str
 // ScanLogTSV streams a TSV log entry by entry with constant memory,
 // pairing with StreamProcessor for end-to-end bounded-memory cleaning.
 func ScanLogTSV(r io.Reader, fn func(Entry) error) error { return logmodel.ScanTSV(r, fn) }
+
+// WriteStreamJSON writes a streaming run's counters and accumulated template
+// statistics as indented JSON — the batch -json export's streaming
+// counterpart, using the same JSON names as the daemon's GET /report
+// payload.
+func WriteStreamJSON(w io.Writer, p *StreamProcessor) error {
+	doc := struct {
+		Stream    StreamStats         `json:"stream"`
+		Templates []core.TemplateJSON `json:"templates"`
+	}{Stream: p.Stats()}
+	for _, t := range p.Templates() {
+		doc.Templates = append(doc.Templates, core.TemplateJSON{
+			Fingerprint:    t.Fingerprint,
+			Skeleton:       t.Skeleton,
+			Frequency:      t.Frequency,
+			UserPopularity: t.UserPopularity,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ShardedStreamConfig configures the sharded (multi-core) streaming engine.
+type ShardedStreamConfig = stream.ShardedConfig
+
+// ShardedStream is the multi-core streaming engine: entries are partitioned
+// by user hash into independent shard processors (dedup keys and sessions
+// are per user, so both stay shard-local), and a global event-time
+// watermark closes sessions in quiet partitions. Safe for concurrent use;
+// each user's entries must keep their time order (route one user through
+// one goroutine or queue).
+type ShardedStream = stream.Sharded
+
+// NewShardedStream returns a sharded streaming engine.
+func NewShardedStream(cfg ShardedStreamConfig) *ShardedStream { return stream.NewSharded(cfg) }
+
+// CleanStreamSharded runs a whole log through a fresh sharded streaming
+// engine, processing user partitions concurrently on the worker pool. The
+// cleaned output is the same multiset of statements as CleanStream's,
+// sorted by time.
+func CleanStreamSharded(l Log, cfg ShardedStreamConfig) (Log, StreamStats, error) {
+	return stream.RunSharded(l, cfg)
+}
+
+// Version returns the build stamp baked into the binary (see the Makefile's
+// LDFLAGS; unstamped builds fall back to VCS metadata).
+func Version() string { return buildinfo.String() }
 
 // RetailWorkloadConfig sizes the retail OLTP workload (paper Example 7).
 type RetailWorkloadConfig = workload.RetailConfig
