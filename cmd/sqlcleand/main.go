@@ -6,7 +6,8 @@
 //
 //	sqlcleand [-addr :8080] [-dup 1s] [-gap 5m] [-no-key-check]
 //	          [-shards 0] [-queue 1024] [-max-body 32] [-clean out.tsv]
-//	          [-version]
+//	          [-data-dir DIR] [-fsync interval] [-fsync-interval 1s]
+//	          [-snapshot-interval 5m] [-max-skew 0] [-version]
 //
 // Endpoints:
 //
@@ -20,6 +21,11 @@
 // SIGINT/SIGTERM shut down gracefully: in-flight requests finish, the queues
 // drain, and every open session is flushed through detection and solving
 // before the process exits.
+//
+// With -data-dir the daemon is crash-durable: every accepted entry is
+// journaled before its request is acknowledged, periodic snapshots checkpoint
+// the engine, and a restart with the same directory replays the journal tail
+// so no acknowledged entry is lost even across a SIGKILL.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 
 	"sqlclean"
 	"sqlclean/internal/buildinfo"
+	"sqlclean/internal/journal"
 	"sqlclean/internal/logmodel"
 	"sqlclean/internal/server"
 	"sqlclean/internal/stream"
@@ -51,6 +58,11 @@ func main() {
 		maxBody    = flag.Int64("max-body", 32, "maximum request body in MiB")
 		cleanOut   = flag.String("clean", "", "append cleaned entries (TSV) to this file as sessions close")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for draining queues and flushing sessions")
+		dataDir    = flag.String("data-dir", "", "durability directory: journal accepted entries and checkpoint the engine there (empty = in-memory only)")
+		fsyncMode  = flag.String("fsync", "interval", "journal fsync policy: always | interval | never")
+		fsyncEvery = flag.Duration("fsync-interval", time.Second, "background fsync cadence for -fsync interval")
+		snapEvery  = flag.Duration("snapshot-interval", 5*time.Minute, "checkpoint cadence (<0 disables periodic snapshots)")
+		maxSkew    = flag.Duration("max-skew", 0, "reject entries this far past the event-time watermark (0 = disabled)")
 		version    = flag.Bool("version", false, "print the build stamp and exit")
 	)
 	flag.Parse()
@@ -74,22 +86,39 @@ func main() {
 		}
 	}
 
+	policy, err := journal.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		fatal(err)
+	}
+
 	metrics := sqlclean.NewMetrics()
 	sqlclean.InstrumentParallel(metrics)
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Stream: stream.ShardedConfig{
-			Shards: *shards,
+			Shards:        *shards,
+			MaxFutureSkew: *maxSkew,
 			Config: stream.Config{
 				DuplicateThreshold: *dup,
 				SessionGap:         *gap,
 				DisableKeyCheck:    *noKeyCheck,
 			},
 		},
-		QueueSize:    *queue,
-		MaxBodyBytes: *maxBody << 20,
-		Metrics:      metrics,
-		Emit:         emit,
+		QueueSize:        *queue,
+		MaxBodyBytes:     *maxBody << 20,
+		Metrics:          metrics,
+		Emit:             emit,
+		DataDir:          *dataDir,
+		Fsync:            policy,
+		FsyncInterval:    *fsyncEvery,
+		SnapshotInterval: *snapEvery,
 	})
+	if err != nil {
+		fatal(err)
+	}
+	if *dataDir != "" {
+		fmt.Fprintf(os.Stderr, "sqlcleand: durable in %s (fsync=%s), replayed %d journal entries\n",
+			*dataDir, policy, srv.Replayed())
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -133,10 +133,32 @@ func WriteTSV(w io.Writer, l Log) error {
 	return bw.Flush()
 }
 
+// LineError is a TSV parse failure that knows which input line it came
+// from. Line counts every line of the input, including blank lines the
+// scanner skips — it is the number an editor or a `sed -n Np` would show.
+type LineError struct {
+	Line int
+	Err  error
+}
+
+func (e *LineError) Error() string { return fmt.Sprintf("logmodel: line %d: %v", e.Line, e.Err) }
+
+func (e *LineError) Unwrap() error { return e.Err }
+
 // ScanTSV streams a TSV log entry by entry, calling fn for each record —
 // constant memory regardless of log size. Seq numbers are assigned in file
 // order. fn returning an error stops the scan and propagates the error.
+// Parse failures are returned as *LineError.
 func ScanTSV(r io.Reader, fn func(Entry) error) error {
+	return ScanTSVLines(r, func(_ int, e Entry) error { return fn(e) })
+}
+
+// ScanTSVLines is ScanTSV with the input's real 1-based line number passed
+// to the callback. Entry indices and line numbers diverge whenever the
+// input has blank lines, so any caller reporting a position to a human (or
+// an HTTP client retrying a failed batch) needs the line, not the count of
+// entries seen so far.
+func ScanTSVLines(r io.Reader, fn func(line int, e Entry) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	lineNo := 0
@@ -147,33 +169,33 @@ func ScanTSV(r io.Reader, fn func(Entry) error) error {
 		if line == "" {
 			continue
 		}
-		e, err := parseTSVLine(line, lineNo)
+		e, err := parseTSVLine(line)
 		if err != nil {
-			return err
+			return &LineError{Line: lineNo, Err: err}
 		}
 		e.Seq = seq
 		seq++
-		if err := fn(e); err != nil {
+		if err := fn(lineNo, e); err != nil {
 			return err
 		}
 	}
 	return sc.Err()
 }
 
-func parseTSVLine(line string, lineNo int) (Entry, error) {
+func parseTSVLine(line string) (Entry, error) {
 	parts := strings.SplitN(line, "\t", 5)
 	if len(parts) != 5 {
-		return Entry{}, fmt.Errorf("logmodel: line %d: expected 5 tab-separated fields, got %d", lineNo, len(parts))
+		return Entry{}, fmt.Errorf("expected 5 tab-separated fields, got %d", len(parts))
 	}
 	t, err := time.Parse(TimeFormat, parts[0])
 	if err != nil {
-		return Entry{}, fmt.Errorf("logmodel: line %d: bad timestamp: %v", lineNo, err)
+		return Entry{}, fmt.Errorf("bad timestamp: %v", err)
 	}
 	rows := int64(-1)
 	if parts[3] != "" {
 		rows, err = strconv.ParseInt(parts[3], 10, 64)
 		if err != nil {
-			return Entry{}, fmt.Errorf("logmodel: line %d: bad row count: %v", lineNo, err)
+			return Entry{}, fmt.Errorf("bad row count: %v", err)
 		}
 	}
 	return Entry{

@@ -1,0 +1,307 @@
+// Durability: the daemon's crash-recovery layer. The design is the WAL +
+// checkpoint + replay triad every production ingest stack converges on:
+//
+//   - every accepted entry is framed into a write-ahead journal
+//     (internal/journal) before its request is acknowledged (enqueue
+//     appends, handleIngest group-commits once per request);
+//   - a periodic + on-drain snapshot serializes the engine (stream
+//     snapshot/restore: merged stats, open sessions, dedup windows,
+//     template aggregates, watermarks) at a known journal position and
+//     truncates the journal behind it;
+//   - startup restores the newest snapshot and replays the journal's tail
+//     through the sharded engine, in journal order, before any HTTP traffic
+//     is admitted.
+//
+// Consistency between a snapshot and its journal position is enforced by a
+// short enqueue freeze: takeSnapshot blocks new enqueues (enqMu), waits for
+// the pending count to drain to zero (every journaled frame applied), and
+// only then records the LSN and captures state — serialization happens
+// inside the freeze, file I/O outside the hot path's way. Shard routing is
+// deterministic across processes (stream.ShardFor), so replayed entries and
+// restored per-shard state land on the shards that produced them.
+//
+// Emit semantics across a crash are at-least-once: sessions closed after
+// the last snapshot are re-emitted during replay.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"sqlclean/internal/journal"
+	"sqlclean/internal/stream"
+)
+
+// snapshotFile is the on-disk checkpoint: the engine state plus the journal
+// position it covers and the next ingest sequence number.
+type snapshotFile struct {
+	Version int `json:"version"`
+	// AppliedLSN: every journal frame with LSN <= AppliedLSN is reflected
+	// in Engine; replay starts at AppliedLSN+1.
+	AppliedLSN uint64 `json:"applied_lsn"`
+	// NextSeq resumes the global arrival sequence.
+	NextSeq int64                  `json:"next_seq"`
+	Engine  stream.ShardedSnapshot `json:"engine"`
+}
+
+const (
+	snapshotVersion = 1
+	snapPrefix      = "snapshot-"
+	snapSuffix      = ".json"
+)
+
+func snapshotName(lsn uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, lsn, snapSuffix)
+}
+
+// openDurability restores the newest snapshot, replays the journal tail and
+// opens the journal for appending. Called by New before drain goroutines
+// start, so replay applies to the engine single-threaded, in journal order.
+func (s *Server) openDurability() error {
+	dir := s.cfg.DataDir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("server: data dir: %w", err)
+	}
+	applied, err := s.restoreSnapshot(dir)
+	if err != nil {
+		return err
+	}
+	_, err = journal.Replay(dir, applied+1, func(_ uint64, payload []byte) error {
+		e, err := journal.DecodeEntry(payload)
+		if err != nil {
+			// A decoded-but-corrupt frame passed its CRC, so this is a
+			// version mismatch or a bug, not bit rot: stop rather than
+			// misattribute entries.
+			return err
+		}
+		if e.Seq >= s.seq.Load() {
+			s.seq.Store(e.Seq + 1)
+		}
+		out, aerr := s.eng.AddShard(s.eng.ShardFor(e.User), e)
+		if aerr != nil {
+			// The original run rejected this entry too (ordering contract
+			// or skew guard); count and continue like drain does.
+			s.mReplayRej.Inc()
+			return nil
+		}
+		s.replayed++
+		s.mReplayed.Inc()
+		s.emit(out)
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("server: journal replay: %w", err)
+	}
+	jw, err := journal.Open(journal.Options{
+		Dir:          dir,
+		SegmentBytes: s.cfg.SegmentBytes,
+		Policy:       s.cfg.Fsync,
+		Interval:     s.cfg.FsyncInterval,
+		Metrics:      s.reg,
+	})
+	if err != nil {
+		return fmt.Errorf("server: open journal: %w", err)
+	}
+	s.jw = jw
+	return nil
+}
+
+// restoreSnapshot loads the newest readable snapshot into the engine and
+// returns the journal position it covers (0 when starting empty).
+func (s *Server) restoreSnapshot(dir string) (uint64, error) {
+	names, err := listSnapshots(dir)
+	if err != nil {
+		return 0, err
+	}
+	// Newest first; fall back past unreadable files (e.g. a torn write that
+	// never got renamed would not be listed, but be defensive anyway).
+	for i := len(names) - 1; i >= 0; i-- {
+		blob, err := os.ReadFile(filepath.Join(dir, names[i]))
+		if err != nil {
+			continue
+		}
+		var sf snapshotFile
+		if err := json.Unmarshal(blob, &sf); err != nil || sf.Version != snapshotVersion {
+			continue
+		}
+		if err := s.eng.Restore(sf.Engine); err != nil {
+			// A shard-count mismatch is an operator error, not a reason to
+			// silently drop months of state.
+			return 0, fmt.Errorf("server: restore %s: %w", names[i], err)
+		}
+		s.seq.Store(sf.NextSeq)
+		s.gSnapshotLSN.Set(int64(sf.AppliedLSN))
+		return sf.AppliedLSN, nil
+	}
+	return 0, nil
+}
+
+// snapshotLoop checkpoints every Config.SnapshotInterval until Close.
+func (s *Server) snapshotLoop() {
+	defer s.snapWG.Done()
+	t := time.NewTicker(s.cfg.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.snapStop:
+			return
+		case <-t.C:
+			if err := s.takeSnapshot(30 * time.Second); err != nil {
+				s.mSnapshotErrs.Inc()
+			}
+		}
+	}
+}
+
+// takeSnapshot checkpoints the engine at a consistent journal position: it
+// freezes enqueues, waits (bounded) for every journaled frame to be applied,
+// serializes the engine state, releases the freeze, then writes the file and
+// truncates the journal outside the freeze.
+func (s *Server) takeSnapshot(quiesce time.Duration) error {
+	if s.jw == nil {
+		return nil
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+
+	s.enqMu.Lock()
+	deadline := time.Now().Add(quiesce)
+	for s.pending.Load() != 0 {
+		if time.Now().After(deadline) {
+			s.enqMu.Unlock()
+			return errors.New("server: snapshot: queues did not quiesce (drain stalled?)")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	lsn := s.jw.LastLSN()
+	nextSeq := s.seq.Load()
+	snap := s.eng.Snapshot()
+	s.enqMu.Unlock()
+
+	return s.writeSnapshot(snapshotFile{
+		Version:    snapshotVersion,
+		AppliedLSN: lsn,
+		NextSeq:    nextSeq,
+		Engine:     snap,
+	})
+}
+
+// finalSnapshot runs at the end of a graceful drain, when the engine is
+// already quiescent by construction (queues closed, drains joined).
+func (s *Server) finalSnapshot() error {
+	if s.jw == nil {
+		return nil
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return s.writeSnapshot(snapshotFile{
+		Version:    snapshotVersion,
+		AppliedLSN: s.jw.LastLSN(),
+		NextSeq:    s.seq.Load(),
+		Engine:     s.eng.Snapshot(),
+	})
+}
+
+// writeSnapshot persists one checkpoint atomically (tmp + fsync + rename +
+// dir fsync), prunes older snapshots and truncates the journal behind it.
+func (s *Server) writeSnapshot(sf snapshotFile) error {
+	blob, err := json.Marshal(sf)
+	if err != nil {
+		return fmt.Errorf("server: marshal snapshot: %w", err)
+	}
+	dir := s.cfg.DataDir
+	final := filepath.Join(dir, snapshotName(sf.AppliedLSN))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	// Older snapshots and fully-covered journal segments are now garbage.
+	if names, err := listSnapshots(dir); err == nil {
+		for _, name := range names {
+			if name != snapshotName(sf.AppliedLSN) {
+				os.Remove(filepath.Join(dir, name))
+			}
+		}
+	}
+	if _, err := s.jw.TruncateBefore(sf.AppliedLSN + 1); err != nil {
+		return fmt.Errorf("server: truncate journal: %w", err)
+	}
+	s.mSnapshots.Inc()
+	s.gSnapshotLSN.Set(int64(sf.AppliedLSN))
+	return nil
+}
+
+// closeDurability writes the final checkpoint and closes the journal; called
+// at the end of a graceful drain.
+func (s *Server) closeDurability() {
+	if s.jw == nil {
+		return
+	}
+	if err := s.finalSnapshot(); err != nil {
+		s.mSnapshotErrs.Inc()
+	}
+	_ = s.jw.Close()
+}
+
+// listSnapshots returns snapshot file names sorted by LSN ascending.
+func listSnapshots(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		if _, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), 16, 64); err != nil {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// syncDir fsyncs a directory so renames in it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -13,6 +13,14 @@
 // the burst. Shutdown is graceful by construction: Close stops new requests,
 // waits for in-flight ones, drains every queue, then flushes all open
 // sessions through the engine — an accepted entry is never dropped.
+//
+// Durability is opt-in via Config.DataDir: every accepted entry is framed
+// into a write-ahead journal (internal/journal) before the request is
+// acknowledged, and a periodic + on-drain snapshot of the engine state
+// truncates the journal behind it. A restarted daemon restores the latest
+// snapshot and replays the journal's tail through the engine, so open
+// sessions, dedup windows and template aggregates survive a crash — see
+// durability.go.
 package server
 
 import (
@@ -31,6 +39,7 @@ import (
 
 	"sqlclean/internal/buildinfo"
 	"sqlclean/internal/core"
+	"sqlclean/internal/journal"
 	"sqlclean/internal/logmodel"
 	"sqlclean/internal/obs"
 	"sqlclean/internal/parsedlog"
@@ -55,8 +64,27 @@ type Config struct {
 	// build stamp.
 	Version string
 	// Emit, when non-nil, receives every batch of cleaned entries as
-	// sessions close (and the final flush). Calls are serialized.
+	// sessions close (and the final flush). Calls are serialized. With a
+	// DataDir, sessions closed between the last snapshot and a crash are
+	// re-emitted on replay: Emit delivery is at-least-once across restarts.
 	Emit func(logmodel.Log)
+
+	// DataDir enables crash durability: it holds the write-ahead journal
+	// (DataDir/wal-*.log) and engine snapshots (DataDir/snapshot-*.json).
+	// Empty keeps the daemon purely in-memory.
+	DataDir string
+	// Fsync is the journal fsync policy (empty selects journal.FsyncInterval).
+	Fsync journal.FsyncPolicy
+	// FsyncInterval is the cadence for journal.FsyncInterval (0 selects the
+	// journal default).
+	FsyncInterval time.Duration
+	// SegmentBytes is the journal segment rotation size (0 selects the
+	// journal default).
+	SegmentBytes int64
+	// SnapshotInterval is the periodic checkpoint cadence (0 selects 5
+	// minutes; negative disables periodic snapshots — the on-drain snapshot
+	// still runs). Each snapshot truncates the journal behind it.
+	SnapshotInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +100,9 @@ func (c Config) withDefaults() Config {
 	if c.Version == "" {
 		c.Version = buildinfo.String()
 	}
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = 5 * time.Minute
+	}
 	return c
 }
 
@@ -82,27 +113,57 @@ type Server struct {
 	reg    *obs.Registry
 	eng    *stream.Sharded
 	queues []chan logmodel.Entry
+	// qMu serializes same-shard enqueues so that, with a journal, a shard's
+	// frame order in the WAL equals its queue order — the invariant that
+	// makes a replay apply entries exactly as the crashed run did.
+	qMu []sync.Mutex
 
 	drainWG  sync.WaitGroup // drain goroutines
 	ingestWG sync.WaitGroup // in-flight ingest requests
+	// closeMu orders ingest admission against Close: handleIngest joins
+	// ingestWG only under the read lock with closed still false, and Close
+	// flips closed under the write lock — so ingestWG.Wait never races an
+	// Add from zero (the documented sync.WaitGroup misuse).
+	closeMu  sync.RWMutex
 	closed   atomic.Bool
 	closeOne sync.Once
 	seq      atomic.Int64
 	start    time.Time
 	emitMu   sync.Mutex
 
+	// Durability state; jw is nil without Config.DataDir (see durability.go).
+	jw *journal.Writer
+	// enqMu freezes the enqueue path while a snapshot captures engine state;
+	// pending counts entries enqueued but not yet applied by a drain.
+	enqMu    sync.RWMutex
+	pending  atomic.Int64
+	snapMu   sync.Mutex
+	snapStop chan struct{}
+	snapWG   sync.WaitGroup
+	replayed int
+
 	mRequests      *obs.Counter
 	mAccepted      *obs.Counter
 	mRejectedFull  *obs.Counter
 	mRejectedOrder *obs.Counter
+	mRejectedSkew  *obs.Counter
 	mBadLines      *obs.Counter
 	mEmitted       *obs.Counter
 	qDepth         *obs.Gauge
+
+	mReplayed     *obs.Counter
+	mReplayRej    *obs.Counter
+	mSnapshots    *obs.Counter
+	mSnapshotErrs *obs.Counter
+	mJournalErrs  *obs.Counter
+	gSnapshotLSN  *obs.Gauge
 }
 
-// New builds the engine, starts one drain goroutine per shard and returns
-// the server, ready for Handler.
-func New(cfg Config) *Server {
+// New builds the engine, restores durable state when Config.DataDir is set
+// (snapshot restore + journal replay, before any traffic is admitted),
+// starts one drain goroutine per shard and returns the server, ready for
+// Handler.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Stream.Metrics == nil {
 		cfg.Stream.Metrics = cfg.Metrics
@@ -114,30 +175,54 @@ func New(cfg Config) *Server {
 		cfg.Stream.Parser.Instrument(cfg.Stream.Metrics)
 	}
 	s := &Server{
-		cfg:   cfg,
-		reg:   cfg.Metrics,
-		eng:   stream.NewSharded(cfg.Stream),
-		start: time.Now(),
+		cfg:      cfg,
+		reg:      cfg.Metrics,
+		eng:      stream.NewSharded(cfg.Stream),
+		start:    time.Now(),
+		snapStop: make(chan struct{}),
 
 		mRequests:      cfg.Metrics.Counter("ingest_requests_total"),
 		mAccepted:      cfg.Metrics.Counter("ingest_accepted_total"),
 		mRejectedFull:  cfg.Metrics.Counter("ingest_rejected_full_total"),
 		mRejectedOrder: cfg.Metrics.Counter("ingest_rejected_order_total"),
+		mRejectedSkew:  cfg.Metrics.Counter("ingest_rejected_skew_total"),
 		mBadLines:      cfg.Metrics.Counter("ingest_bad_lines_total"),
 		mEmitted:       cfg.Metrics.Counter("server_emitted_entries_total"),
 		qDepth:         cfg.Metrics.Gauge("ingest_queue_depth"),
+
+		mReplayed:     cfg.Metrics.Counter("journal_replayed_entries_total"),
+		mReplayRej:    cfg.Metrics.Counter("journal_replay_rejected_total"),
+		mSnapshots:    cfg.Metrics.Counter("snapshots_written_total"),
+		mSnapshotErrs: cfg.Metrics.Counter("snapshot_errors_total"),
+		mJournalErrs:  cfg.Metrics.Counter("journal_append_errors_total"),
+		gSnapshotLSN:  cfg.Metrics.Gauge("snapshot_last_lsn"),
+	}
+	if cfg.DataDir != "" {
+		// Restore + replay runs before the drain goroutines exist, so the
+		// engine is applied to strictly in journal order.
+		if err := s.openDurability(); err != nil {
+			return nil, err
+		}
 	}
 	s.queues = make([]chan logmodel.Entry, s.eng.NumShards())
+	s.qMu = make([]sync.Mutex, len(s.queues))
 	for i := range s.queues {
 		s.queues[i] = make(chan logmodel.Entry, cfg.QueueSize)
 		s.drainWG.Add(1)
 		go s.drain(i)
 	}
-	return s
+	if s.jw != nil && cfg.SnapshotInterval > 0 {
+		s.snapWG.Add(1)
+		go s.snapshotLoop()
+	}
+	return s, nil
 }
 
 // Engine exposes the underlying sharded engine (stats, templates).
 func (s *Server) Engine() *stream.Sharded { return s.eng }
+
+// Replayed reports how many journal entries the server re-applied at startup.
+func (s *Server) Replayed() int { return s.replayed }
 
 // drain is shard i's single consumer: it preserves per-user ordering and
 // feeds the shard processor, emitting cleaned sessions as they close.
@@ -147,12 +232,24 @@ func (s *Server) drain(i int) {
 		s.qDepth.Add(-1)
 		out, err := s.eng.AddShard(i, e)
 		if err != nil {
-			// Out-of-order beyond the session gap: the engine's ordering
-			// contract rejects it. Counted, never fatal to the stream.
-			s.mRejectedOrder.Inc()
+			switch {
+			case errors.Is(err, stream.ErrFutureSkew):
+				// Corrupted far-future timestamp: the watermark guard
+				// refused it before it could poison every shard's sessions.
+				s.mRejectedSkew.Inc()
+			default:
+				// Out-of-order beyond the session gap: the engine's ordering
+				// contract rejects it. Counted, never fatal to the stream.
+				s.mRejectedOrder.Inc()
+			}
+			s.pending.Add(-1)
 			continue
 		}
 		s.emit(out)
+		// Applied (and emitted): only now may a snapshot consider this
+		// entry covered. Decremented after emit so a quiescence wait also
+		// proves the Emit callback is idle.
+		s.pending.Add(-1)
 	}
 }
 
@@ -170,13 +267,21 @@ func (s *Server) emit(l logmodel.Log) {
 
 // Close gracefully shuts the pipeline down: refuse new ingests, wait for
 // in-flight requests, drain every queue, then flush all open sessions
-// through the engine (the final cleaned entries go to Emit). Safe to call
-// more than once. The context bounds the wait; on expiry the drain keeps
-// running in the background and ctx.Err is returned.
+// through the engine (the final cleaned entries go to Emit). With a DataDir
+// it then writes a final snapshot — a clean restart restores instead of
+// replaying — and closes the journal. Safe to call more than once. The
+// context bounds the wait; on expiry the drain keeps running in the
+// background and ctx.Err is returned.
 func (s *Server) Close(ctx context.Context) error {
 	var err error
 	s.closeOne.Do(func() {
+		// The write lock orders this flip against every in-flight
+		// handleIngest admission: after Unlock, either the handler saw
+		// closed and never joined ingestWG, or it joined before we Wait.
+		s.closeMu.Lock()
 		s.closed.Store(true)
+		s.closeMu.Unlock()
+		close(s.snapStop)
 		done := make(chan struct{})
 		go func() {
 			defer close(done)
@@ -189,6 +294,8 @@ func (s *Server) Close(ctx context.Context) error {
 			}
 			s.drainWG.Wait()
 			s.emit(s.eng.Close())
+			s.snapWG.Wait()
+			s.closeDurability()
 		}()
 		select {
 		case <-done:
@@ -252,19 +359,43 @@ func (w wireEntry) entry() (logmodel.Entry, error) {
 // errQueueFull aborts an ingest scan when a shard queue rejects an entry.
 var errQueueFull = errors.New("ingest queue full")
 
-// enqueue routes one entry; it never blocks.
+// errJournal aborts an ingest scan when the write-ahead journal rejects an
+// append (disk full, I/O error): the entry is already queued and will be
+// processed, but it cannot be made durable, so the request must not be
+// acknowledged as accepted.
+var errJournal = errors.New("journal append failed")
+
+// enqueue routes one entry; it never blocks. Accepted entries are framed
+// into the journal before enqueue returns, so by the time the HTTP response
+// acknowledges them (handleIngest commits the journal first) they are
+// crash-durable.
 func (s *Server) enqueue(e logmodel.Entry) error {
 	e.Seq = s.seq.Add(1) - 1
 	i := s.eng.ShardFor(e.User)
+	// Read side of the snapshot freeze: while a checkpoint captures engine
+	// state, no new entry may slip past the recorded journal position.
+	s.enqMu.RLock()
+	defer s.enqMu.RUnlock()
+	s.qMu[i].Lock()
+	defer s.qMu[i].Unlock()
 	select {
 	case s.queues[i] <- e:
-		s.qDepth.Add(1)
-		s.mAccepted.Inc()
-		return nil
 	default:
 		s.mRejectedFull.Inc()
 		return errQueueFull
 	}
+	if s.jw != nil {
+		if _, err := s.jw.Append(journal.EncodeEntry(nil, e)); err != nil {
+			s.mJournalErrs.Inc()
+			s.pending.Add(1)
+			s.qDepth.Add(1)
+			return fmt.Errorf("%w: %v", errJournal, err)
+		}
+	}
+	s.pending.Add(1)
+	s.qDepth.Add(1)
+	s.mAccepted.Inc()
+	return nil
 }
 
 type ingestResponse struct {
@@ -273,14 +404,27 @@ type ingestResponse struct {
 	Line     int    `json:"line,omitempty"` // 1-based line of the first failure
 }
 
+// beginIngest admits one ingest request, or reports that the server is
+// draining. The closed check and the WaitGroup join happen under one read
+// lock: Close flips closed under the write lock before Wait, so an Add can
+// never race Wait up from zero — the panic mode of a bare Add-then-check.
+func (s *Server) beginIngest() bool {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed.Load() {
+		return false
+	}
+	s.ingestWG.Add(1)
+	return true
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.mRequests.Inc()
-	s.ingestWG.Add(1)
-	defer s.ingestWG.Done()
-	if s.closed.Load() {
+	if !s.beginIngest() {
 		writeJSON(w, http.StatusServiceUnavailable, ingestResponse{Error: "server draining"})
 		return
 	}
+	defer s.ingestWG.Done()
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 
 	format := r.URL.Query().Get("format")
@@ -289,12 +433,24 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 
 	accepted, line, err := s.ingestLines(body, format)
+	// Group commit: one flush (and fsync, per policy) per request, before
+	// any acknowledgement — including partial-failure responses, whose
+	// accepted count is a promise too.
+	if s.jw != nil {
+		if cerr := s.jw.Commit(); cerr != nil {
+			s.mJournalErrs.Inc()
+			writeJSON(w, http.StatusInternalServerError, ingestResponse{Accepted: accepted, Error: "journal commit: " + cerr.Error()})
+			return
+		}
+	}
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, ingestResponse{Accepted: accepted})
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, ingestResponse{Accepted: accepted, Error: err.Error(), Line: line})
+	case errors.Is(err, errJournal):
+		writeJSON(w, http.StatusInternalServerError, ingestResponse{Accepted: accepted, Error: err.Error(), Line: line})
 	default:
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
@@ -308,11 +464,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 // ingestLines scans the body line by line — constant memory per request —
 // and enqueues each entry. It stops at the first failure, returning the
-// count accepted so far and the failing 1-based line.
+// count accepted so far and the failing 1-based input line (real line
+// numbers: blank lines the scanners skip still count, so the reported line
+// matches the client's own view of its payload).
 func (s *Server) ingestLines(body io.Reader, format string) (accepted, line int, err error) {
 	if format == "tsv" {
-		err = logmodel.ScanTSV(body, func(e logmodel.Entry) error {
-			line++
+		lastLine := 0
+		err = logmodel.ScanTSVLines(body, func(lineNo int, e logmodel.Entry) error {
+			lastLine = lineNo
 			if qerr := s.enqueue(e); qerr != nil {
 				return qerr
 			}
@@ -320,10 +479,14 @@ func (s *Server) ingestLines(body io.Reader, format string) (accepted, line int,
 			return nil
 		})
 		if err != nil {
-			if errors.Is(err, errQueueFull) {
-				return accepted, line, err
+			var le *logmodel.LineError
+			if errors.As(err, &le) {
+				return accepted, le.Line, err
 			}
-			return accepted, line + 1, err
+			if errors.Is(err, errQueueFull) || errors.Is(err, errJournal) {
+				return accepted, lastLine, err
+			}
+			return accepted, lastLine + 1, err
 		}
 		return accepted, 0, nil
 	}
@@ -436,18 +599,33 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Report(top))
 }
 
+// DurabilityHealth is the durability corner of /healthz, present only when
+// the daemon runs with a data directory.
+type DurabilityHealth struct {
+	DataDir string `json:"data_dir"`
+	// JournalLSN is the LSN of the last appended frame.
+	JournalLSN uint64 `json:"journal_lsn"`
+	// SnapshotLSN is the journal position the last snapshot covered.
+	SnapshotLSN uint64 `json:"snapshot_lsn"`
+	// JournalSegments counts live WAL segment files.
+	JournalSegments int `json:"journal_segments"`
+	// ReplayedOnStart counts entries replayed from the journal at startup.
+	ReplayedOnStart int `json:"replayed_on_start"`
+}
+
 // HealthPayload is the GET /healthz document.
 type HealthPayload struct {
-	Status          string  `json:"status"` // "ok" or "draining"
-	Version         string  `json:"version"`
-	UptimeSeconds   float64 `json:"uptime_seconds"`
-	Shards          int     `json:"shards"`
-	OpenSessions    int     `json:"open_sessions"`
-	QueueDepth      int     `json:"queue_depth"`
-	QueueCapacity   int     `json:"queue_capacity"`
-	EntriesIn       int     `json:"entries_in"`
-	EntriesOut      int     `json:"entries_out"`
-	SessionsEmitted int     `json:"sessions_emitted"`
+	Status          string            `json:"status"` // "ok" or "draining"
+	Version         string            `json:"version"`
+	UptimeSeconds   float64           `json:"uptime_seconds"`
+	Shards          int               `json:"shards"`
+	OpenSessions    int               `json:"open_sessions"`
+	QueueDepth      int               `json:"queue_depth"`
+	QueueCapacity   int               `json:"queue_capacity"`
+	EntriesIn       int               `json:"entries_in"`
+	EntriesOut      int               `json:"entries_out"`
+	SessionsEmitted int               `json:"sessions_emitted"`
+	Durability      *DurabilityHealth `json:"durability,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -456,7 +634,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.closed.Load() {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, HealthPayload{
+	h := HealthPayload{
 		Status:          status,
 		Version:         s.cfg.Version,
 		UptimeSeconds:   time.Since(s.start).Seconds(),
@@ -467,7 +645,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		EntriesIn:       st.In,
 		EntriesOut:      st.Out,
 		SessionsEmitted: st.SessionsEmitted,
-	})
+	}
+	if s.jw != nil {
+		h.Durability = &DurabilityHealth{
+			DataDir:         s.cfg.DataDir,
+			JournalLSN:      s.jw.LastLSN(),
+			SnapshotLSN:     uint64(s.gSnapshotLSN.Value()),
+			JournalSegments: s.jw.Segments(),
+			ReplayedOnStart: s.replayed,
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

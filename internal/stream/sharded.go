@@ -16,7 +16,8 @@
 package stream
 
 import (
-	"hash/maphash"
+	"errors"
+	"fmt"
 	"math"
 	"runtime"
 	"sort"
@@ -51,6 +52,16 @@ type ShardedConfig struct {
 	// (i.e. cross-shard eviction after 2× gap of silence); shard-local
 	// eviction stays at exactly one gap, like the serial Processor.
 	AllowedLateness time.Duration
+	// MaxFutureSkew bounds how far one entry may advance the global
+	// watermark past its current value. Without a bound, a single corrupted
+	// far-future timestamp drags the watermark ahead of every live session,
+	// so the next sweep closes them all and subsequent in-order entries are
+	// rejected as late. Entries beyond the bound are rejected with
+	// ErrFutureSkew (and counted as stream_rejected_future_skew_total when
+	// Metrics is set) instead of poisoning the watermark. Zero disables the
+	// bound — batch replays of historic logs legitimately jump the event
+	// clock by months.
+	MaxFutureSkew time.Duration
 }
 
 func (c ShardedConfig) withDefaults() ShardedConfig {
@@ -79,8 +90,27 @@ func nextPow2(n int) int {
 	return p
 }
 
-// userSeed picks each user's shard, consistently within the process.
-var userSeed = maphash.MakeSeed()
+// userHash picks each user's shard. It is FNV-1a — a fixed, documented
+// function rather than a per-process random seed — because shard routing is
+// part of the durable state contract: a snapshot taken by one process must
+// restore per-shard processors onto the same shards in the next process, and
+// a journal replay must route every entry exactly as the crashed run did.
+func userHash(user string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(user); i++ {
+		h ^= uint64(user[i])
+		h *= prime64
+	}
+	return h
+}
+
+// ErrFutureSkew marks an entry rejected because its timestamp would advance
+// the global watermark beyond ShardedConfig.MaxFutureSkew.
+var ErrFutureSkew = errors.New("stream: entry timestamp too far in the future")
 
 type shardSlot struct {
 	mu sync.Mutex
@@ -110,6 +140,8 @@ type Sharded struct {
 	// the engine: per-shard processors get a detached gauge so their Set
 	// calls cannot clobber each other. Nil without Config.Metrics.
 	gauge *obs.Gauge
+	// mSkew counts entries rejected by the MaxFutureSkew watermark guard.
+	mSkew *obs.Counter
 }
 
 // NewSharded returns a sharded streaming engine.
@@ -127,6 +159,7 @@ func NewSharded(cfg ShardedConfig) *Sharded {
 	s.watermarkNS.Store(math.MinInt64)
 	if m := cfg.Metrics; m != nil {
 		s.gauge = m.Gauge("stream_open_sessions")
+		s.mSkew = m.Counter("stream_rejected_future_skew_total")
 	}
 	for i := range s.shards {
 		p := New(cfg.Config)
@@ -144,9 +177,11 @@ func NewSharded(cfg ShardedConfig) *Sharded {
 func (s *Sharded) NumShards() int { return len(s.shards) }
 
 // ShardFor returns the partition index owning a user — the routing a server
-// uses to keep one user's entries on one ingest queue.
+// uses to keep one user's entries on one ingest queue. It is deterministic
+// across processes (see userHash) so restored snapshots and journal replays
+// route identically to the run that produced them.
 func (s *Sharded) ShardFor(user string) int {
-	return int(maphash.String(userSeed, user) & s.mask)
+	return int(userHash(user) & s.mask)
 }
 
 // OpenSessions returns the number of sessions currently buffered across all
@@ -164,7 +199,18 @@ func (s *Sharded) Add(e logmodel.Entry) (logmodel.Log, error) {
 // ingest queue). i must equal ShardFor(e.User) for dedup and sessionization
 // to see the user's whole stream.
 func (s *Sharded) AddShard(i int, e logmodel.Entry) (logmodel.Log, error) {
-	s.raiseWatermark(e.Time.UnixNano())
+	ns := e.Time.UnixNano()
+	if s.cfg.MaxFutureSkew > 0 {
+		// Guard the global watermark before raising it: one bogus far-future
+		// timestamp must not close every open session in every shard.
+		wm := s.watermarkNS.Load()
+		if wm != math.MinInt64 && ns > wm+int64(s.cfg.MaxFutureSkew) {
+			s.mSkew.Inc()
+			return nil, fmt.Errorf("%w: entry at %v is %v past watermark %v (max skew %v)",
+				ErrFutureSkew, e.Time, time.Duration(ns-wm), time.Unix(0, wm).UTC(), s.cfg.MaxFutureSkew)
+		}
+	}
+	s.raiseWatermark(ns)
 	sh := s.shards[i]
 	sh.mu.Lock()
 	before := len(sh.p.open)

@@ -1,0 +1,239 @@
+// Snapshot / restore of streaming state. The daemon's durability story is
+// WAL + checkpoint: the journal replays every accepted entry since the last
+// checkpoint, and the checkpoint is exactly the state serialized here — the
+// merged counters, the open sessions (raw entries; parse results are
+// recomputed on restore, the parser is deterministic), the live slice of the
+// dedup window, the template aggregates and the watermarks. "Query Log
+// Compression for Workload Analytics" (Xie et al. 2018) observes that
+// log-workload state is dominated by a small set of templates, which is why
+// this whole structure stays small enough to checkpoint cheaply even after
+// months of traffic: sessions close within minutes, the dedup window is
+// pruned to the reachable horizon, and templates grow with the number of
+// distinct query shapes, not with traffic.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"sqlclean/internal/antipattern"
+	"sqlclean/internal/logmodel"
+)
+
+// EntrySnapshot is one raw log entry in serialized form (times as Unix
+// nanoseconds so no precision is lost across the JSON round trip).
+type EntrySnapshot struct {
+	Seq       int64  `json:"seq"`
+	TimeNS    int64  `json:"time_ns"`
+	User      string `json:"user,omitempty"`
+	Session   string `json:"session,omitempty"`
+	Rows      int64  `json:"rows"`
+	Statement string `json:"statement"`
+}
+
+func snapEntry(e logmodel.Entry) EntrySnapshot {
+	return EntrySnapshot{
+		Seq: e.Seq, TimeNS: e.Time.UnixNano(),
+		User: e.User, Session: e.Session, Rows: e.Rows, Statement: e.Statement,
+	}
+}
+
+func (s EntrySnapshot) entry() logmodel.Entry {
+	return logmodel.Entry{
+		Seq: s.Seq, Time: time.Unix(0, s.TimeNS).UTC(),
+		User: s.User, Session: s.Session, Rows: s.Rows, Statement: s.Statement,
+	}
+}
+
+// SessionSnapshot is one open session.
+type SessionSnapshot struct {
+	User    string          `json:"user"`
+	Label   string          `json:"label,omitempty"`
+	LastNS  int64           `json:"last_ns"`
+	Entries []EntrySnapshot `json:"entries"`
+}
+
+// DedupSnapshot is one live slot of the duplicate window.
+type DedupSnapshot struct {
+	User      string `json:"user,omitempty"`
+	Statement string `json:"statement"`
+	LastNS    int64  `json:"last_ns"`
+}
+
+// TemplateSnapshot is one template aggregate.
+type TemplateSnapshot struct {
+	Fingerprint uint64   `json:"fingerprint"`
+	Skeleton    string   `json:"skeleton"`
+	Count       int      `json:"count"`
+	Users       []string `json:"users"`
+}
+
+// ProcessorSnapshot is the full serializable state of one Processor.
+type ProcessorSnapshot struct {
+	Stats Stats `json:"stats"`
+	// WatermarkValid distinguishes "never saw an entry" from any real time.
+	WatermarkValid bool               `json:"watermark_valid"`
+	WatermarkNS    int64              `json:"watermark_ns"`
+	Open           []SessionSnapshot  `json:"open,omitempty"`
+	Dedup          []DedupSnapshot    `json:"dedup,omitempty"`
+	Templates      []TemplateSnapshot `json:"templates,omitempty"`
+}
+
+// Snapshot serializes the processor's state. The dedup window is pruned to
+// entries still reachable by a future in-order entry: anything older than
+// watermark − gap − threshold can never match again, so a restore without it
+// is byte-identical in outcome (the full map would otherwise grow with every
+// distinct (user, statement) pair ever seen).
+func (p *Processor) Snapshot() ProcessorSnapshot {
+	s := ProcessorSnapshot{Stats: p.stats}
+	if !p.watermark.IsZero() {
+		s.WatermarkValid = true
+		s.WatermarkNS = p.watermark.UnixNano()
+	}
+	for _, os := range p.open {
+		ss := SessionSnapshot{User: os.user, Label: os.label, LastNS: os.last.UnixNano()}
+		for _, pe := range os.entries {
+			ss.Entries = append(ss.Entries, snapEntry(pe.Entry))
+		}
+		s.Open = append(s.Open, ss)
+	}
+	sort.Slice(s.Open, func(i, j int) bool { return s.Open[i].User < s.Open[j].User })
+	horizon := p.watermark.Add(-p.cfg.SessionGap - p.cfg.DuplicateThreshold)
+	for k, last := range p.lastSeen {
+		if last.Before(horizon) {
+			continue
+		}
+		s.Dedup = append(s.Dedup, DedupSnapshot{User: k.user, Statement: k.stmt, LastNS: last.UnixNano()})
+	}
+	sort.Slice(s.Dedup, func(i, j int) bool {
+		if s.Dedup[i].User != s.Dedup[j].User {
+			return s.Dedup[i].User < s.Dedup[j].User
+		}
+		return s.Dedup[i].Statement < s.Dedup[j].Statement
+	})
+	for fp, a := range p.templateAgg {
+		users := make([]string, 0, len(a.users))
+		for u := range a.users {
+			users = append(users, u)
+		}
+		sort.Strings(users)
+		s.Templates = append(s.Templates, TemplateSnapshot{
+			Fingerprint: fp, Skeleton: a.skeleton, Count: a.count, Users: users,
+		})
+	}
+	sort.Slice(s.Templates, func(i, j int) bool { return s.Templates[i].Fingerprint < s.Templates[j].Fingerprint })
+	return s
+}
+
+// Restore replaces the processor's state with a snapshot. Open-session
+// entries are re-parsed through the processor's parser (statement texts are
+// the canonical state; parse results are derived and deterministic).
+func (p *Processor) Restore(s ProcessorSnapshot) error {
+	p.stats = s.Stats
+	if p.stats.Antipatterns != nil {
+		// The snapshot owner may reuse the map; copy defensively.
+		m := make(map[antipattern.Kind]int, len(p.stats.Antipatterns))
+		for k, v := range p.stats.Antipatterns {
+			m[k] = v
+		}
+		p.stats.Antipatterns = m
+	}
+	p.watermark = time.Time{}
+	if s.WatermarkValid {
+		p.watermark = time.Unix(0, s.WatermarkNS).UTC()
+	}
+	p.open = make(map[string]*openSession, len(s.Open))
+	for _, ss := range s.Open {
+		if len(ss.Entries) == 0 {
+			return fmt.Errorf("stream: snapshot session for %q has no entries", ss.User)
+		}
+		os := &openSession{user: ss.User, label: ss.Label, last: time.Unix(0, ss.LastNS).UTC()}
+		for _, es := range ss.Entries {
+			os.entries = append(os.entries, p.parser.ParseEntry(es.entry()))
+		}
+		p.open[ss.User] = os
+	}
+	p.lastSeen = make(map[dupKey]time.Time, len(s.Dedup))
+	for _, d := range s.Dedup {
+		p.lastSeen[dupKey{user: d.User, stmt: d.Statement}] = time.Unix(0, d.LastNS).UTC()
+	}
+	p.templateAgg = make(map[uint64]*templateAgg, len(s.Templates))
+	for _, t := range s.Templates {
+		a := &templateAgg{skeleton: t.Skeleton, count: t.Count, users: make(map[string]struct{}, len(t.Users))}
+		for _, u := range t.Users {
+			a.users[u] = struct{}{}
+		}
+		p.templateAgg[t.Fingerprint] = a
+	}
+	p.met.open.Set(int64(len(p.open)))
+	return nil
+}
+
+// ShardedSnapshot is the full serializable state of a Sharded engine.
+type ShardedSnapshot struct {
+	// Shards pins the partition count: restore requires the same count, or
+	// per-shard state (dedup windows, open sessions) would land on the wrong
+	// partitions. Routing itself is deterministic (see userHash).
+	Shards int `json:"shards"`
+	// WatermarkValid/WatermarkNS carry the global event-time watermark.
+	WatermarkValid bool                `json:"watermark_valid"`
+	WatermarkNS    int64               `json:"watermark_ns"`
+	OpenHigh       int64               `json:"open_sessions_high_water"`
+	Procs          []ProcessorSnapshot `json:"procs"`
+}
+
+// Snapshot serializes every shard plus the coordinator state. The caller
+// must ensure the engine is quiescent (no concurrent Adds) if the snapshot
+// is to be consistent with an external position such as a journal LSN; the
+// method itself is safe to call concurrently.
+func (s *Sharded) Snapshot() ShardedSnapshot {
+	snap := ShardedSnapshot{
+		Shards:   len(s.shards),
+		OpenHigh: s.openHigh.Load(),
+	}
+	if wm := s.watermarkNS.Load(); wm != math.MinInt64 {
+		snap.WatermarkValid = true
+		snap.WatermarkNS = wm
+	}
+	snap.Procs = make([]ProcessorSnapshot, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		snap.Procs[i] = sh.p.Snapshot()
+		sh.mu.Unlock()
+	}
+	return snap
+}
+
+// Restore replaces the engine's state with a snapshot taken by an engine
+// with the same shard count.
+func (s *Sharded) Restore(snap ShardedSnapshot) error {
+	if snap.Shards != len(s.shards) {
+		return fmt.Errorf("stream: snapshot has %d shards, engine has %d (restart with -shards %d)",
+			snap.Shards, len(s.shards), snap.Shards)
+	}
+	if len(snap.Procs) != snap.Shards {
+		return fmt.Errorf("stream: snapshot carries %d shard states for %d shards", len(snap.Procs), snap.Shards)
+	}
+	var open int64
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		err := sh.p.Restore(snap.Procs[i])
+		n := len(sh.p.open)
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("stream: restore shard %d: %w", i, err)
+		}
+		open += int64(n)
+	}
+	if snap.WatermarkValid {
+		s.watermarkNS.Store(snap.WatermarkNS)
+	} else {
+		s.watermarkNS.Store(math.MinInt64)
+	}
+	s.openCount.Store(open)
+	s.openHigh.Store(snap.OpenHigh)
+	s.gauge.Set(open)
+	return nil
+}

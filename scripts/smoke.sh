@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke of the sqlcleand ingestion daemon: start it, ingest a
 # generated log over HTTP, assert /healthz is OK and /report is non-empty,
-# then drain gracefully. Run via `make smoke` (which builds bin/ first).
+# then drain gracefully. A second phase checks crash durability: SIGKILL the
+# daemon mid-feed, restart it on the same -data-dir (journal replay), finish
+# the feed, and require the Add-driven /report numbers to equal an
+# uninterrupted run's. Run via `make smoke` (which builds bin/ first).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -51,3 +54,81 @@ wait "$PID"
 [ -s "$TMP/clean.tsv" ] || { echo "smoke: drain wrote no cleaned entries" >&2; exit 1; }
 
 echo "smoke: ok ($(wc -l <"$TMP/log.tsv") in, $(wc -l <"$TMP/clean.tsv") cleaned)"
+
+# ---------------------------------------------------------------------------
+# Crash durability: acknowledged entries must survive a SIGKILL. Session-
+# boundary stats depend on sweep timing under concurrent drains, so the
+# comparison covers the Add-driven report fields, which are deterministic.
+# ---------------------------------------------------------------------------
+
+TOTAL=$(wc -l <"$TMP/log.tsv")
+HALF=$((TOTAL / 2))
+head -n "$HALF" "$TMP/log.tsv" >"$TMP/log1.tsv"
+tail -n +"$((HALF + 1))" "$TMP/log.tsv" >"$TMP/log2.tsv"
+
+start_daemon() { # $1 data dir, $2 daemon log
+  "$BIN" -addr "$ADDR" -data-dir "$1" 2>>"$2" &
+  PID=$!
+  for i in $(seq 1 50); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then return 0; fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+      echo "smoke: daemon died:" >&2; cat "$2" >&2; exit 1
+    fi
+    sleep 0.1
+  done
+  echo "smoke: daemon never listened" >&2; exit 1
+}
+
+ingest_tsv() { # $1 file
+  curl -sf -X POST --data-binary "@$1" "http://$ADDR/ingest?format=tsv" >/dev/null
+}
+
+wait_applied() { # $1 expected entries_in
+  for i in $(seq 1 100); do
+    curl -sf "http://$ADDR/healthz" >"$TMP/h.json" 2>/dev/null || true
+    if grep -q "\"entries_in\": *$1," "$TMP/h.json" &&
+       grep -q '"queue_depth": *0,' "$TMP/h.json"; then return 0; fi
+    sleep 0.1
+  done
+  echo "smoke: daemon never converged to $1 applied entries:" >&2
+  cat "$TMP/h.json" >&2; exit 1
+}
+
+add_driven_report() { # $1 out file
+  curl -sf "http://$ADDR/report" | grep -oE \
+    '"(size_original|count_select|size_after_dedup|duplicates_found|count_templates|max_template_frequency)": *[0-9]+' \
+    >"$1"
+}
+
+# Uninterrupted reference run.
+start_daemon "$TMP/data-ref" "$TMP/ref.log"
+ingest_tsv "$TMP/log.tsv"
+wait_applied "$TOTAL"
+add_driven_report "$TMP/report-ref.txt"
+kill -TERM "$PID"
+wait "$PID"
+
+# Crash run: half the feed, SIGKILL (no drain, no snapshot), restart on the
+# same directory, finish the feed.
+start_daemon "$TMP/data" "$TMP/crash.log"
+ingest_tsv "$TMP/log1.tsv"
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+
+start_daemon "$TMP/data" "$TMP/crash.log"
+grep -q "replayed $HALF journal entries" "$TMP/crash.log" || {
+  echo "smoke: restart did not replay the $HALF journaled entries:" >&2
+  cat "$TMP/crash.log" >&2; exit 1
+}
+ingest_tsv "$TMP/log2.tsv"
+wait_applied "$TOTAL"
+add_driven_report "$TMP/report-crash.txt"
+kill -TERM "$PID"
+wait "$PID"
+
+diff "$TMP/report-ref.txt" "$TMP/report-crash.txt" >&2 || {
+  echo "smoke: crash-recovered report diverged from the uninterrupted run" >&2
+  exit 1
+}
+
+echo "smoke: crash recovery ok (SIGKILL after $HALF entries, replayed and converged at $TOTAL)"
