@@ -11,7 +11,7 @@ LDFLAGS  = -X sqlclean/internal/buildinfo.Version=$(VERSION) \
 # The benchmarks of record (see `bench` below).
 BENCH_REGEX = BenchmarkParseParallel|BenchmarkPipelineParallel|BenchmarkPipelineSeedSerial|BenchmarkDedupSharded|BenchmarkStreamSharded
 
-.PHONY: check build binaries test race bench bench-json vet smoke
+.PHONY: check build binaries test race bench bench-json bench-compare profile vet smoke
 
 # Default: everything the CI gate runs.
 check: vet test race
@@ -42,6 +42,23 @@ bench:
 # B/op, allocs/op. Commit BENCH_pipeline.json to track regressions per PR.
 bench-json:
 	$(GO) test -bench '$(BENCH_REGEX)' -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_pipeline.json
+
+# Perf-regression gate: rerun the benchmarks of record (short benchtime —
+# this is a smoke-level gate, not a measurement) and diff against the
+# committed baseline. Warn-only by default; drop -warn-only for a hard gate.
+BENCH_COMPARE_TIME ?= 1x
+bench-compare:
+	$(GO) test -bench '$(BENCH_REGEX)' -benchmem -benchtime $(BENCH_COMPARE_TIME) -run '^$$' . \
+	  | $(GO) run ./cmd/benchjson -compare BENCH_pipeline.json -threshold 25 -warn-only
+
+# CPU + allocation profiles of the pipeline benchmark on the seed workload.
+# Inspect with: go tool pprof -top profiles/cpu.prof
+profile:
+	mkdir -p profiles
+	$(GO) test -bench 'BenchmarkPipelineParallel/workers=1' -run '^$$' -benchtime 5x \
+	  -cpuprofile profiles/cpu.prof -memprofile profiles/mem.prof .
+	$(GO) tool pprof -top -nodecount 15 profiles/cpu.prof
+	$(GO) tool pprof -top -nodecount 15 -sample_index=alloc_objects profiles/mem.prof
 
 # End-to-end smoke of the ingestion daemon: build, start, ingest a generated
 # log over HTTP, assert /healthz and a non-empty /report, drain.

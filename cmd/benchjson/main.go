@@ -7,14 +7,23 @@
 // Usage:
 //
 //	go test -bench <regex> -benchmem -run '^$' . | go run ./cmd/benchjson
+//	go test -bench <regex> -benchmem -run '^$' . | go run ./cmd/benchjson -compare BENCH_pipeline.json
+//
+// With -compare the new results are diffed against a committed baseline
+// instead of printed: one line per benchmark with the ns/op and allocs/op
+// deltas, and a non-zero exit (unless -warn-only) when any benchmark
+// regressed past -threshold. That is the perf-regression gate CI runs.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -33,9 +42,9 @@ type Result struct {
 //	BenchmarkPipelineParallel/workers=4-8   42  28519481 ns/op  11863931 B/op  178062 allocs/op
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
 
-func main() {
+func parseBench(r io.Reader) (map[string]Result, error) {
 	results := map[string]Result{}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -45,7 +54,7 @@ func main() {
 		}
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
 		ns, _ := strconv.ParseFloat(m[3], 64)
-		r := Result{Iterations: iters, NsPerOp: ns}
+		res := Result{Iterations: iters, NsPerOp: ns}
 		var lastInt int64
 		for _, f := range strings.Fields(m[4]) {
 			// The tail alternates value/unit; remember the last value.
@@ -55,25 +64,102 @@ func main() {
 			}
 			switch f {
 			case "B/op":
-				r.BytesPerOp = lastInt
+				res.BytesPerOp = lastInt
 			case "allocs/op":
-				r.AllocsPerOp = lastInt
+				res.AllocsPerOp = lastInt
 			}
 		}
-		results[m[1]] = r
+		results[m[1]] = res
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	return results, sc.Err()
+}
+
+// pctDelta returns the relative change new vs old in percent; 0 when the
+// old value is zero (nothing to compare against).
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * (new - old) / old
+}
+
+// compare diffs new results against a baseline and writes one report line
+// per benchmark. It returns the number of benchmarks whose ns/op or
+// allocs/op regressed by more than threshold percent.
+func compare(w io.Writer, baseline, results map[string]Result, threshold float64) int {
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	for _, n := range names {
+		nr := results[n]
+		old, ok := baseline[n]
+		if !ok {
+			fmt.Fprintf(w, "NEW   %-45s %12.0f ns/op %9d allocs/op (no baseline)\n", n, nr.NsPerOp, nr.AllocsPerOp)
+			continue
+		}
+		dns := pctDelta(old.NsPerOp, nr.NsPerOp)
+		dallocs := pctDelta(float64(old.AllocsPerOp), float64(nr.AllocsPerOp))
+		status := "OK   "
+		if dns > threshold || dallocs > threshold {
+			status = "WARN "
+			regressions++
+		}
+		fmt.Fprintf(w, "%s %-45s ns/op %12.0f -> %12.0f (%+6.1f%%)   allocs/op %9d -> %9d (%+6.1f%%)\n",
+			status, n, old.NsPerOp, nr.NsPerOp, dns, old.AllocsPerOp, nr.AllocsPerOp, dallocs)
+	}
+	for n := range baseline {
+		if _, ok := results[n]; !ok {
+			fmt.Fprintf(w, "GONE  %-45s (in baseline, not in this run)\n", n)
+		}
+	}
+	return regressions
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+func main() {
+	comparePath := flag.String("compare", "", "baseline JSON (from a previous benchjson run) to diff against instead of emitting JSON")
+	threshold := flag.Float64("threshold", 10, "regression warn threshold in percent (ns/op or allocs/op above baseline)")
+	warnOnly := flag.Bool("warn-only", false, "with -compare: always exit 0, even when benchmarks regressed past the threshold")
+	flag.Parse()
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
 	}
 	if len(results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
 	}
+
+	if *comparePath != "" {
+		data, err := os.ReadFile(*comparePath)
+		if err != nil {
+			fatal(err)
+		}
+		baseline := map[string]Result{}
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			fatal(fmt.Errorf("parsing %s: %v", *comparePath, err))
+		}
+		regressions := compare(os.Stdout, baseline, results, *threshold)
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% vs %s\n", regressions, *threshold, *comparePath)
+			if !*warnOnly {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 }

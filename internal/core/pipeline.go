@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"sqlclean/internal/antipattern"
@@ -215,6 +216,10 @@ type Result struct {
 
 	Dedup  dedup.Result
 	Report Report
+
+	// antiTmpl memoizes AntipatternTemplates (guarded by antiTmplOnce).
+	antiTmplOnce sync.Once
+	antiTmpl     map[uint64]bool
 }
 
 // beginStage opens a stage span under root and publishes the stage name
@@ -243,7 +248,12 @@ func Run(input logmodel.Log, cfg Config) (*Result, error) {
 
 	res := &Result{Config: cfg}
 	res.Original = input.Clone()
-	res.Original.SortStable()
+	// Real logs arrive time-ordered, so the common case is a linear
+	// sortedness check; only actually-unsorted input pays for the (parallel
+	// merge) sort.
+	if !res.Original.IsSorted() {
+		res.Original.SortStableParallel(cfg.Workers)
+	}
 	res.Report.SizeOriginal = len(res.Original)
 	met.Counter("pipeline_entries_total").Add(int64(len(res.Original)))
 
@@ -292,19 +302,19 @@ func Run(input logmodel.Log, cfg Config) (*Result, error) {
 		gap = 0
 	}
 	sp = beginStage(root, met, "sessionize")
-	res.Sessions = session.Build(res.PreClean, session.Options{MaxGap: gap, SplitOnLabel: true})
+	res.Sessions = session.BuildParallel(res.PreClean, session.Options{MaxGap: gap, SplitOnLabel: true}, cfg.Workers)
 	sp.SetInt("in", int64(len(res.PreClean)))
 	sp.SetInt("sessions", int64(len(res.Sessions)))
 	endStage(met, sp)
 
 	sp = beginStage(root, met, "templates")
-	res.Templates = pattern.Templates(res.Parsed)
+	res.Templates = pattern.TemplatesParallel(res.Parsed, cfg.Workers)
 	res.Report.CountTemplates = len(res.Templates)
 	if len(res.Templates) > 0 {
 		res.Report.MaxTemplateFreq = res.Templates[0].Frequency
 	}
 	if cfg.MaxSequenceLen >= 2 {
-		res.Sequences = pattern.Sequences(res.Parsed, res.Sessions, cfg.MaxSequenceLen)
+		res.Sequences = pattern.SequencesParallel(res.Parsed, res.Sessions, cfg.MaxSequenceLen, cfg.Workers)
 	}
 	sp.SetInt("in", int64(len(res.Parsed)))
 	sp.SetInt("templates", int64(len(res.Templates)))
@@ -335,16 +345,22 @@ func Run(input logmodel.Log, cfg Config) (*Result, error) {
 	sp = beginStage(root, met, "detect")
 	res.Instances = reg.DetectParallelSpan(res.Parsed, res.Sessions, cfg.Workers, sp)
 	res.Report.AntipatternSummary = antipattern.Summarize(res.Instances)
-	inAnti := map[int]bool{}
+	// []bool indexed by parsed-log position: instance indices are dense in
+	// [0, len(Parsed)), so a map here is pure overhead on template-heavy logs.
+	inAnti := make([]bool, len(res.Parsed))
+	queriesInAnti := 0
 	for _, in := range res.Instances {
 		for _, idx := range in.Indices {
-			inAnti[idx] = true
+			if !inAnti[idx] {
+				inAnti[idx] = true
+				queriesInAnti++
+			}
 		}
 	}
-	res.Report.QueriesInAntipattern = len(inAnti)
+	res.Report.QueriesInAntipattern = queriesInAnti
 	sp.SetInt("sessions", int64(len(res.Sessions)))
 	sp.SetInt("instances", int64(len(res.Instances)))
-	sp.SetInt("queries_in_antipattern", int64(len(inAnti)))
+	sp.SetInt("queries_in_antipattern", int64(queriesInAnti))
 	endStage(met, sp)
 	met.Counter("pipeline_instances_total").Add(int64(len(res.Instances)))
 
@@ -371,7 +387,7 @@ func Run(input logmodel.Log, cfg Config) (*Result, error) {
 			for pass := 1; pass < cfg.MaxSolvePasses; pass++ {
 				psp := sp.StartChild(fmt.Sprintf("pass%02d", pass+1))
 				parsed, _ := parser.ParseParallelSpan(res.Clean, cfg.Workers, psp)
-				sessions := session.Build(res.Clean, session.Options{MaxGap: gap, SplitOnLabel: true})
+				sessions := session.BuildParallel(res.Clean, session.Options{MaxGap: gap, SplitOnLabel: true}, cfg.Workers)
 				instances := reg.DetectParallelSpan(parsed, sessions, cfg.Workers, psp)
 				next := rewrite.Apply(parsed, instances, solvers)
 				psp.SetInt("instances", int64(len(instances)))
@@ -419,22 +435,35 @@ func Run(input logmodel.Log, cfg Config) (*Result, error) {
 func applySWSMode(clean logmodel.Log, sws map[uint64]bool, mode SWSMode, parser *parsedlog.Parser, workers int, sp *obs.Span) logmodel.Log {
 	parsed, _ := parser.ParseParallelSpan(clean, workers, sp)
 
-	// Group SWS entries per fingerprint, in log order.
-	groups := map[uint64][]int{}
+	// Group SWS entries per fingerprint, in log order. Fingerprints map to
+	// dense group slots (first-appearance order), so the per-entry state —
+	// membership, replacement text, group id — lives in preallocated slices
+	// indexed by log position instead of per-entry map inserts.
+	groupOf := make(map[uint64]int, len(sws))
+	var groups [][]int
 	isSWS := make([]bool, len(parsed))
+	groupAt := make([]int, len(parsed))
 	for i, pe := range parsed {
 		if pe.Info != nil && sws[pe.Info.Fingerprint] {
 			isSWS[i] = true
-			groups[pe.Info.Fingerprint] = append(groups[pe.Info.Fingerprint], i)
+			g, ok := groupOf[pe.Info.Fingerprint]
+			if !ok {
+				g = len(groups)
+				groups = append(groups, nil)
+				groupOf[pe.Info.Fingerprint] = g
+			}
+			groups[g] = append(groups[g], i)
+			groupAt[i] = g
 		}
 	}
 
 	// For union mode, compute one replacement statement per group; groups
 	// whose filters cannot be unioned stay untouched.
-	replaceAt := map[int]string{}
-	unioned := map[uint64]bool{}
+	var replaceAt []string
+	unioned := make([]bool, len(groups))
 	if mode == SWSUnion {
-		for fp, idxs := range groups {
+		replaceAt = make([]string, len(parsed))
+		for g, idxs := range groups {
 			infos := make([]*skeleton.Info, 0, len(idxs))
 			for _, i := range idxs {
 				infos = append(infos, parsed[i].Info)
@@ -444,7 +473,7 @@ func applySWSMode(clean logmodel.Log, sws map[uint64]bool, mode SWSMode, parser 
 				continue
 			}
 			replaceAt[idxs[0]] = stmt
-			unioned[fp] = true
+			unioned[g] = true
 		}
 	}
 
@@ -458,14 +487,14 @@ func applySWSMode(clean logmodel.Log, sws map[uint64]bool, mode SWSMode, parser 
 		case SWSExclude:
 			continue
 		case SWSUnion:
-			if stmt, ok := replaceAt[i]; ok {
+			if stmt := replaceAt[i]; stmt != "" {
 				ne := e
 				ne.Statement = stmt
 				ne.Rows = -1 // the union's row count is unknown
 				out = append(out, ne)
 				continue
 			}
-			if unioned[parsed[i].Info.Fingerprint] {
+			if unioned[groupAt[i]] {
 				continue // consumed by the group's union query
 			}
 			out = append(out, e) // group not unionable: keep
@@ -476,30 +505,27 @@ func applySWSMode(clean logmodel.Log, sws map[uint64]bool, mode SWSMode, parser 
 
 // IsAntipatternTemplate reports whether the template fingerprint occurs as
 // (part of) any detected antipattern instance — used to mark antipatterns in
-// Fig. 2(a)-style rankings.
+// Fig. 2(a)-style rankings. The instance scan runs once (see
+// AntipatternTemplates); each call after the first is one map lookup.
 func (r *Result) IsAntipatternTemplate(fp uint64) bool {
-	for _, in := range r.Instances {
-		for _, idx := range in.Indices {
-			e := r.Parsed[idx]
-			if e.Info != nil && e.Info.Fingerprint == fp {
-				return true
-			}
-		}
-	}
-	return false
+	return r.AntipatternTemplates()[fp]
 }
 
 // AntipatternTemplates returns the set of template fingerprints that occur
-// inside antipattern instances, computed once.
+// inside antipattern instances. The set is computed on first use and cached
+// on the Result (safe for concurrent callers); treat it as read-only.
 func (r *Result) AntipatternTemplates() map[uint64]bool {
-	out := map[uint64]bool{}
-	for _, in := range r.Instances {
-		for _, idx := range in.Indices {
-			e := r.Parsed[idx]
-			if e.Info != nil {
-				out[e.Info.Fingerprint] = true
+	r.antiTmplOnce.Do(func() {
+		out := make(map[uint64]bool, len(r.Instances))
+		for _, in := range r.Instances {
+			for _, idx := range in.Indices {
+				e := &r.Parsed[idx]
+				if e.Info != nil {
+					out[e.Info.Fingerprint] = true
+				}
 			}
 		}
-	}
-	return out
+		r.antiTmpl = out
+	})
+	return r.antiTmpl
 }

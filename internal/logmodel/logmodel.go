@@ -14,6 +14,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"sqlclean/internal/parallel"
 )
 
 // Entry is one record of a SQL query log.
@@ -37,15 +39,109 @@ type Entry struct {
 // Log is an in-memory query log.
 type Log []Entry
 
+// entryLess is the (Time, Seq) pipeline order every stage assumes.
+func entryLess(a, b *Entry) bool {
+	if !a.Time.Equal(b.Time) {
+		return a.Time.Before(b.Time)
+	}
+	return a.Seq < b.Seq
+}
+
 // SortStable orders the log by (Time, Seq). All pipeline stages assume this
 // order.
 func (l Log) SortStable() {
 	sort.SliceStable(l, func(i, j int) bool {
-		if !l[i].Time.Equal(l[j].Time) {
-			return l[i].Time.Before(l[j].Time)
-		}
-		return l[i].Seq < l[j].Seq
+		return entryLess(&l[i], &l[j])
 	})
+}
+
+// IsSorted reports whether the log is already in (Time, Seq) order — true
+// for any log that came out of ScanTSV on a time-ordered file, which lets
+// the pipeline skip the input sort entirely.
+func (l Log) IsSorted() bool {
+	for i := 1; i < len(l); i++ {
+		if entryLess(&l[i], &l[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortMinParallel is the log size below which a parallel sort's fan-out and
+// merge-buffer overhead cannot win over one in-place stable sort.
+const sortMinParallel = 4096
+
+// SortStableParallel is SortStable using up to `workers` goroutines: the log
+// is cut into contiguous runs sorted concurrently, then stably merged
+// pairwise (ties prefer the left run). Because a stable sort's output is
+// unique, the result is bit-identical to SortStable for every worker count.
+func (l Log) SortStableParallel(workers int) {
+	w := parallel.Workers(workers)
+	n := len(l)
+	if w <= 1 || n < sortMinParallel {
+		l.SortStable()
+		return
+	}
+	bounds := make([]int, 0, w+1)
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		bounds = append(bounds, lo)
+	}
+	bounds = append(bounds, n)
+	parallel.ShardRun(w, len(bounds)-1, func(i int) {
+		l[bounds[i]:bounds[i+1]].SortStable()
+	})
+
+	buf := make(Log, n)
+	src, dst := l, buf
+	for len(bounds) > 2 {
+		type span struct{ lo, mid, hi int }
+		merges := make([]span, 0, len(bounds)/2+1)
+		nb := make([]int, 0, len(bounds)/2+2)
+		i := 0
+		for ; i+2 < len(bounds); i += 2 {
+			merges = append(merges, span{bounds[i], bounds[i+1], bounds[i+2]})
+			nb = append(nb, bounds[i])
+		}
+		if i+2 == len(bounds) {
+			// Odd run count: the last run has no partner this round and is
+			// carried through (mergeRuns with mid == hi is a copy).
+			merges = append(merges, span{bounds[i], bounds[i+1], bounds[i+1]})
+			nb = append(nb, bounds[i])
+		}
+		nb = append(nb, n)
+		parallel.ShardRun(w, len(merges), func(k int) {
+			s := merges[k]
+			mergeRuns(dst, src, s.lo, s.mid, s.hi)
+		})
+		src, dst = dst, src
+		bounds = nb
+	}
+	if &src[0] != &l[0] {
+		copy(l, src)
+	}
+}
+
+// mergeRuns stably merges the sorted runs src[lo:mid] and src[mid:hi] into
+// dst[lo:hi], preferring the left run on ties so relative order of equal
+// entries is preserved.
+func mergeRuns(dst, src Log, lo, mid, hi int) {
+	i, j, k := lo, mid, lo
+	for i < mid && j < hi {
+		if entryLess(&src[j], &src[i]) {
+			dst[k] = src[j]
+			j++
+		} else {
+			dst[k] = src[i]
+			i++
+		}
+		k++
+	}
+	if i < mid {
+		copy(dst[k:hi], src[i:mid])
+	} else {
+		copy(dst[k:hi], src[j:hi])
+	}
 }
 
 // Users returns the number of distinct users in the log.

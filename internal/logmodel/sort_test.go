@@ -1,0 +1,60 @@
+package logmodel
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// scrambledLog builds a log with heavy timestamp ties (stability matters)
+// in a deterministically shuffled order.
+func scrambledLog(n int, seed int64) Log {
+	rng := rand.New(rand.NewSource(seed))
+	base := time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC)
+	l := make(Log, n)
+	for i := range l {
+		l[i] = Entry{
+			Seq:       int64(i),
+			Time:      base.Add(time.Duration(rng.Intn(n/8+1)) * time.Second),
+			User:      fmt.Sprintf("u%d", i%13),
+			Statement: fmt.Sprintf("SELECT a FROM t WHERE id = %d", i),
+		}
+	}
+	rng.Shuffle(n, func(i, j int) { l[i], l[j] = l[j], l[i] })
+	return l
+}
+
+func TestIsSorted(t *testing.T) {
+	l := scrambledLog(500, 1)
+	if l.IsSorted() {
+		t.Fatal("shuffled log reported as sorted")
+	}
+	l.SortStable()
+	if !l.IsSorted() {
+		t.Fatal("sorted log reported as unsorted")
+	}
+	if !(Log{}).IsSorted() || !(Log{{Seq: 1}}).IsSorted() {
+		t.Fatal("empty/singleton logs must count as sorted")
+	}
+}
+
+// TestSortStableParallelMatchesSerial pins the parallel merge sort to the
+// serial stable sort byte for byte — a stable sort's output is unique, so
+// any divergence is a bug — across sizes straddling the parallel threshold
+// and several worker counts.
+func TestSortStableParallelMatchesSerial(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 4095, 4096, 10000} {
+		want := scrambledLog(n, int64(n)+7)
+		got1 := want.Clone()
+		want.SortStable()
+		for _, workers := range []int{1, 2, 3, 4, 8} {
+			got := got1.Clone()
+			got.SortStableParallel(workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d workers=%d: parallel sort differs from SortStable", n, workers)
+			}
+		}
+	}
+}

@@ -4,11 +4,20 @@
 // statement texts share one parse result, which matters a lot on real logs
 // where a handful of templates cover millions of entries.
 //
-// The Parser is safe for concurrent use: its statement-text cache is sharded
-// by hash, and a per-statement singleflight guarantees each unique text is
-// parsed exactly once even when many goroutines race on it — so the
-// "identical texts share one *skeleton.Info" invariant holds under
-// ParseParallel exactly as it does serially.
+// The Parser is safe for concurrent use and its hit path is contention-free:
+// each shard publishes an immutable read map (RCU-style), so a cache hit is
+// one atomic load plus a map lookup with no lock and no shared-cacheline
+// write. Misses take the shard mutex, land in a dirty map, and are
+// periodically promoted into a fresh read snapshot; a per-statement
+// singleflight guarantees each unique text is parsed exactly once even when
+// many goroutines race on it — so the "identical texts share one
+// *skeleton.Info" invariant holds under ParseParallel exactly as it does
+// serially.
+//
+// The cache also interns statement texts: every Entry returned for the same
+// statement carries the first-seen string instance, so dedup keys, template
+// aggregates and the clean log all share one string per distinct statement
+// instead of retaining millions of equal copies.
 package parsedlog
 
 import (
@@ -90,23 +99,48 @@ type cached struct {
 type result struct {
 	once sync.Once
 	done atomic.Bool
+	// stmt is the interned statement text: the first string instance that
+	// reached the cache. Every Entry for this slot carries it, so all
+	// downstream stages share one string per distinct statement.
+	stmt string
 	c    cached
 }
 
 // shardCount shards the statement-text cache. 32 is a power of two (cheap
 // masking) comfortably above the core counts we target, so two workers
-// rarely contend on one shard lock, while the per-shard map overhead stays
-// negligible.
+// rarely contend on one shard's miss lock, while the per-shard map overhead
+// stays negligible. The hit path never locks at all.
 const shardCount = 32
 
+// shard is one cache partition with an RCU read path: read holds an
+// immutable snapshot consulted without any lock, dirty (guarded by mu) is
+// the authoritative map that accumulates misses. When dirty has outgrown
+// the last snapshot enough, a fresh copy is published — the copy cost
+// amortizes to O(1) per insert under the doubling policy in lookup.
 type shard struct {
-	mu sync.Mutex
-	m  map[string]*result
+	read atomic.Pointer[map[string]*result]
+
+	mu        sync.Mutex
+	dirty     map[string]*result
+	published int // len(dirty) at the last snapshot publish
+}
+
+// publishLocked snapshots dirty into a fresh immutable read map. Caller
+// holds mu.
+func (sh *shard) publishLocked() {
+	m := make(map[string]*result, 2*len(sh.dirty))
+	for k, v := range sh.dirty {
+		m[k] = v
+	}
+	sh.read.Store(&m)
+	sh.published = len(sh.dirty)
 }
 
 // hashSeed makes shard selection consistent within a process. It only picks
 // the shard a statement lives in, so the per-run randomness of maphash never
-// leaks into results.
+// leaks into results. maphash is used (rather than FNV) because it runs at
+// hardware-hash speed on long statement texts; the hash is computed outside
+// any lock.
 var hashSeed = maphash.MakeSeed()
 
 // parserMetrics are the hot-path cache counters Instrument attaches.
@@ -146,26 +180,41 @@ func (p *Parser) Instrument(reg *obs.Registry) {
 func NewParser() *Parser {
 	p := &Parser{}
 	for i := range p.shards {
-		p.shards[i].m = map[string]*result{}
+		p.shards[i].dirty = map[string]*result{}
 	}
 	return p
 }
 
 // lookup returns the cache slot for a statement, creating it if needed, and
-// reports whether this caller created it.
+// reports whether this caller created it. The fast path — the statement is
+// in the shard's published read snapshot — is lock-free: one hash, one
+// atomic load, one map lookup.
 func (p *Parser) lookup(stmt string) (*result, bool) {
 	sh := &p.shards[maphash.String(hashSeed, stmt)&(shardCount-1)]
+	if m := sh.read.Load(); m != nil {
+		if r, ok := (*m)[stmt]; ok {
+			return r, false
+		}
+	}
 	sh.mu.Lock()
-	r, ok := sh.m[stmt]
+	r, ok := sh.dirty[stmt]
 	if !ok {
-		r = &result{}
-		sh.m[stmt] = r
+		r = &result{stmt: stmt}
+		sh.dirty[stmt] = r
+		// Publish a fresh read snapshot once dirty has roughly doubled
+		// since the last publish (the +8 floor keeps tiny caches from
+		// republishing on every insert). Total copy work is O(n) amortized.
+		if len(sh.dirty) >= 2*sh.published+8 {
+			sh.publishLocked()
+		}
 	}
 	sh.mu.Unlock()
 	return r, !ok
 }
 
-// ParseEntry parses one log entry, consulting the shared cache.
+// ParseEntry parses one log entry, consulting the shared cache. The
+// returned Entry carries the interned statement text (the first-seen string
+// instance for this statement), never e.Statement itself.
 func (p *Parser) ParseEntry(e logmodel.Entry) Entry {
 	r, created := p.lookup(e.Statement)
 	if m := p.met; m != nil {
@@ -180,10 +229,19 @@ func (p *Parser) ParseEntry(e logmodel.Entry) Entry {
 		}
 	}
 	r.once.Do(func() {
-		r.c = parseOne(e.Statement)
+		r.c = parseOne(r.stmt)
 		r.done.Store(true)
 	})
+	e.Statement = r.stmt
 	return Entry{Entry: e, Class: r.c.class, Info: r.c.info, Err: r.c.err}
+}
+
+// Intern returns the cache's canonical string instance for a statement text
+// (inserting a slot if the statement was never seen). Content is always
+// equal to stmt; only the backing allocation is shared.
+func (p *Parser) Intern(stmt string) string {
+	r, _ := p.lookup(stmt)
+	return r.stmt
 }
 
 func parseOne(stmt string) cached {

@@ -1,0 +1,53 @@
+package pattern
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"sqlclean/internal/parsedlog"
+	"sqlclean/internal/session"
+	"sqlclean/internal/workload"
+)
+
+// TestTemplatesParallelDeterminism is the acceptance test for parallel
+// template mining: every worker count must return byte-identical output to
+// the serial aggregation on a seeded workload — same stats, same descriptive
+// fields (Example from the first occurrence), same tie-break order.
+func TestTemplatesParallelDeterminism(t *testing.T) {
+	log, _ := workload.Generate(workload.DefaultConfig().Scale(0.1))
+	pl, _ := parsedlog.Parse(log)
+	want := Templates(pl)
+	if len(want) == 0 {
+		t.Fatal("seeded workload produced no templates")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got := TemplatesParallel(pl, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: Templates differ from serial (%d vs %d entries)", workers, len(got), len(want))
+		}
+	}
+}
+
+// TestSequencesParallelDeterminism pins cross-worker determinism of sequence
+// mining: identical patterns, frequencies, user popularity, and — the subtle
+// part — identical descriptive Skeletons, which must come from the pattern's
+// first instance in session order regardless of how sessions were chunked.
+func TestSequencesParallelDeterminism(t *testing.T) {
+	log, _ := workload.Generate(workload.DefaultConfig().Scale(0.1))
+	pl, _ := parsedlog.Parse(log)
+	sessions := session.Build(log, session.Options{MaxGap: 5 * time.Minute, SplitOnLabel: true})
+	for _, maxLen := range []int{2, 3, 4} {
+		want := Sequences(pl, sessions, maxLen)
+		if maxLen == 3 && len(want) == 0 {
+			t.Fatal("seeded workload produced no sequences")
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			got := SequencesParallel(pl, sessions, maxLen, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("maxLen=%d workers=%d: Sequences differ from serial (%d vs %d patterns)",
+					maxLen, workers, len(got), len(want))
+			}
+		}
+	}
+}

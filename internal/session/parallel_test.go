@@ -1,0 +1,34 @@
+package session
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"sqlclean/internal/workload"
+)
+
+// TestBuildParallelDeterminism pins user-boundary fan-out: BuildParallel
+// must return byte-identical sessions to the serial Build for every worker
+// count, across the gap/label option combinations the pipeline uses.
+func TestBuildParallelDeterminism(t *testing.T) {
+	log, _ := workload.Generate(workload.DefaultConfig().Scale(0.1))
+	opts := []Options{
+		{MaxGap: 5 * time.Minute, SplitOnLabel: true},
+		{MaxGap: 30 * time.Second},
+		{SplitOnLabel: true},
+		{},
+	}
+	for _, opt := range opts {
+		want := Build(log, opt)
+		if len(want) == 0 {
+			t.Fatalf("options %+v: no sessions from seeded workload", opt)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			got := BuildParallel(log, opt, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("options %+v workers=%d: sessions differ (%d vs %d)", opt, workers, len(got), len(want))
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sqlclean/internal/logmodel"
+	"sqlclean/internal/parallel"
 )
 
 // Session is one user's burst of consecutive queries. Indices refer to
@@ -38,6 +39,45 @@ type Options struct {
 // matching the paper's minimal-input mode (§6.8). Sessions are returned in
 // order of their first query.
 func Build(l logmodel.Log, opt Options) []Session {
+	return BuildParallel(l, opt, 1)
+}
+
+// splitUser cuts one user's index stream into sessions at MaxGap /
+// label-change boundaries.
+func splitUser(l logmodel.Log, u string, idxs []int, opt Options) []Session {
+	var out []Session
+	cur := Session{User: u}
+	for k, idx := range idxs {
+		if k > 0 {
+			prev := idxs[k-1]
+			split := false
+			if opt.MaxGap > 0 && l[idx].Time.Sub(l[prev].Time) > opt.MaxGap {
+				split = true
+			}
+			if opt.SplitOnLabel && l[idx].Session != "" && l[prev].Session != "" && l[idx].Session != l[prev].Session {
+				split = true
+			}
+			if split {
+				out = append(out, cur)
+				cur = Session{User: u}
+			}
+		}
+		cur.Indices = append(cur.Indices, idx)
+	}
+	if len(cur.Indices) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// BuildParallel is Build using up to `workers` goroutines. Users are natural
+// partition boundaries — a session never spans two users — so the per-user
+// splitting fans out while grouping and the final ordering sort stay the
+// serial code. Output is bit-identical to Build for every worker count: the
+// fan-out writes each user's sessions into that user's slot, the flatten
+// walks users in first-appearance order (the serial emission order), and the
+// final stable sort of an identical pre-order yields an identical result.
+func BuildParallel(l logmodel.Log, opt Options, workers int) []Session {
 	// Group indices per user, preserving log order (the log is expected to
 	// be sorted by time already).
 	perUser := map[string][]int{}
@@ -49,30 +89,12 @@ func Build(l logmodel.Log, opt Options) []Session {
 		perUser[e.User] = append(perUser[e.User], i)
 	}
 
+	perUserSessions := parallel.Map(workers, userOrder, func(_ int, u string) []Session {
+		return splitUser(l, u, perUser[u], opt)
+	})
 	var out []Session
-	for _, u := range userOrder {
-		idxs := perUser[u]
-		cur := Session{User: u}
-		for k, idx := range idxs {
-			if k > 0 {
-				prev := idxs[k-1]
-				split := false
-				if opt.MaxGap > 0 && l[idx].Time.Sub(l[prev].Time) > opt.MaxGap {
-					split = true
-				}
-				if opt.SplitOnLabel && l[idx].Session != "" && l[prev].Session != "" && l[idx].Session != l[prev].Session {
-					split = true
-				}
-				if split {
-					out = append(out, cur)
-					cur = Session{User: u}
-				}
-			}
-			cur.Indices = append(cur.Indices, idx)
-		}
-		if len(cur.Indices) > 0 {
-			out = append(out, cur)
-		}
+	for _, ss := range perUserSessions {
+		out = append(out, ss...)
 	}
 
 	// Order sessions by the time of their first query for deterministic,

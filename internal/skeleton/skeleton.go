@@ -68,13 +68,24 @@ type Info struct {
 	// TableNames are the canonical base-table names referenced anywhere in
 	// the statement, deduplicated, in encounter order.
 	TableNames []string
+
+	// skel memoizes SkeletonText — sequence mining asks for it once per
+	// collapsed block, far more often than once per distinct statement.
+	skel string
 }
 
 // CP returns the count of predicates (Definition 11's CP).
 func (in *Info) CP() int { return len(in.Predicates) }
 
-// SkeletonText returns the full skeleton-query text (all clauses).
-func (in *Info) SkeletonText() string { return sqlast.Canonical(in.Stmt) }
+// SkeletonText returns the full skeleton-query text (all clauses). For an
+// Analyze-produced Info this is memoized; hand-built Infos fall back to
+// printing the AST.
+func (in *Info) SkeletonText() string {
+	if in.skel != "" {
+		return in.skel
+	}
+	return sqlast.Canonical(in.Stmt)
+}
 
 // TemplateEqual reports whether two statements have equal skeletons
 // (Definition 5: SFC, SWC and SSC all equal).
@@ -88,14 +99,39 @@ var (
 )
 
 // Analyze computes the Info summary for a parsed SELECT statement.
+//
+// All seven derived texts (SSC/SC, SFC/FC, SWC/WC and the full skeleton) are
+// rendered into one pre-grown builder and sliced out of its final string:
+// the alloc profile showed per-clause builders regrowing mid-print as the
+// single largest allocation source on template-heavy logs. The slices pin
+// the one backing array, which is fine — they live and die together in the
+// Info.
 func Analyze(sel *sqlast.SelectStatement) *Info {
 	in := &Info{Stmt: sel}
-	in.SSC, in.SC = printSelectList(sel, true), printSelectList(sel, false)
-	in.SFC, in.FC = printFromList(sel, true), printFromList(sel, false)
+	var b strings.Builder
+	b.Grow(512)
+	appendSelectList(&b, sel, true)
+	o1 := b.Len()
+	appendSelectList(&b, sel, false)
+	o2 := b.Len()
+	appendFromList(&b, sel, true)
+	o3 := b.Len()
+	appendFromList(&b, sel, false)
+	o4 := b.Len()
 	if sel.Where != nil {
-		in.SWC = sqlast.PrintExpr(sel.Where, maskOpts)
-		in.WC = sqlast.PrintExpr(sel.Where, concreteOpts)
+		sqlast.AppendExpr(&b, sel.Where, maskOpts)
 	}
+	o5 := b.Len()
+	if sel.Where != nil {
+		sqlast.AppendExpr(&b, sel.Where, concreteOpts)
+	}
+	o6 := b.Len()
+	sqlast.AppendSelect(&b, sel, maskOpts)
+	s := b.String()
+	in.SSC, in.SC = s[:o1], s[o1:o2]
+	in.SFC, in.FC = s[o2:o3], s[o3:o4]
+	in.SWC, in.WC = s[o4:o5], s[o5:o6]
+	in.skel = s[o6:]
 	in.Fingerprint = fingerprint(in.SFC, in.SWC, in.SSC)
 	in.Predicates = ExtractPredicates(sel.Where)
 	in.SelectCols = selectColumns(sel)
@@ -117,38 +153,34 @@ func fingerprint(sfc, swc, ssc string) uint64 {
 // Exposed for tests and for the loose-matching ablation.
 func FingerprintOf(sfc, swc, ssc string) uint64 { return fingerprint(sfc, swc, ssc) }
 
-func printSelectList(sel *sqlast.SelectStatement, masked bool) string {
+func appendSelectList(b *strings.Builder, sel *sqlast.SelectStatement, masked bool) {
 	o := concreteOpts
 	if masked {
 		o = maskOpts
 	}
-	var b strings.Builder
 	for i, it := range sel.Items {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		sqlast.AppendExpr(&b, it.Expr, o)
+		sqlast.AppendExpr(b, it.Expr, o)
 		if it.Alias != "" {
 			b.WriteString(" AS ")
 			b.WriteString(strings.ToLower(it.Alias))
 		}
 	}
-	return b.String()
 }
 
-func printFromList(sel *sqlast.SelectStatement, masked bool) string {
+func appendFromList(b *strings.Builder, sel *sqlast.SelectStatement, masked bool) {
 	o := concreteOpts
 	if masked {
 		o = maskOpts
 	}
-	var b strings.Builder
 	for i, ts := range sel.From {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		sqlast.AppendTableSource(&b, ts, o)
+		sqlast.AppendTableSource(b, ts, o)
 	}
-	return b.String()
 }
 
 // ExtractPredicates flattens a WHERE expression over AND and summarizes each
@@ -157,13 +189,27 @@ func ExtractPredicates(where sqlast.Expr) []Predicate {
 	if where == nil {
 		return nil
 	}
-	var conjuncts []sqlast.Expr
+	conjuncts := make([]sqlast.Expr, 0, countConjuncts(where))
 	flattenAnd(where, &conjuncts)
 	preds := make([]Predicate, 0, len(conjuncts))
 	for _, c := range conjuncts {
 		preds = append(preds, summarize(c))
 	}
 	return preds
+}
+
+// countConjuncts sizes flattenAnd's output exactly, so the conjunct slice
+// is allocated once instead of growing through appends.
+func countConjuncts(e sqlast.Expr) int {
+	switch x := e.(type) {
+	case *sqlast.BinaryExpr:
+		if x.Op == "AND" {
+			return countConjuncts(x.Left) + countConjuncts(x.Right)
+		}
+	case *sqlast.ParenExpr:
+		return countConjuncts(x.X)
+	}
+	return 1
 }
 
 func flattenAnd(e sqlast.Expr, out *[]sqlast.Expr) {
@@ -303,12 +349,22 @@ func asColumn(e sqlast.Expr) (*sqlast.ColumnRef, bool) {
 
 func canon(s string) string { return strings.ToLower(s) }
 
+// containsStr is the membership test for the small ordered string sets
+// below. Select lists and FROM clauses hold a handful of names, where a
+// linear scan over the output slice beats allocating a map per statement.
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
 func selectColumns(sel *sqlast.SelectStatement) []string {
 	var out []string
-	seen := map[string]bool{}
 	add := func(name string) {
-		if name != "" && !seen[name] {
-			seen[name] = true
+		if name != "" && !containsStr(out, name) {
 			out = append(out, name)
 		}
 	}
@@ -332,11 +388,9 @@ func selectColumns(sel *sqlast.SelectStatement) []string {
 
 func tableNames(sel *sqlast.SelectStatement) []string {
 	var out []string
-	seen := map[string]bool{}
 	for _, t := range sqlast.Tables(sel) {
 		name := canon(t.Name)
-		if !seen[name] {
-			seen[name] = true
+		if !containsStr(out, name) {
 			out = append(out, name)
 		}
 	}

@@ -128,6 +128,13 @@ func AppendTableSource(b *strings.Builder, ts TableSource, o PrintOptions) {
 	p.tableSource(ts)
 }
 
+// AppendSelect renders a whole SELECT statement into b under the given
+// options, saving the intermediate string Print would allocate.
+func AppendSelect(b *strings.Builder, s *SelectStatement, o PrintOptions) {
+	p := printer{b: b, o: o}
+	p.selectStmt(s)
+}
+
 type printer struct {
 	b *strings.Builder
 	o PrintOptions

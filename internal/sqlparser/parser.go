@@ -915,7 +915,11 @@ func (p *parser) parsePrimary() (sqlast.Expr, error) {
 // possibly .*) and function calls (possibly schema-qualified).
 func (p *parser) parseNameExpr() (sqlast.Expr, error) {
 	first := p.advance()
-	parts := []string{first.Val}
+	// Qualified names have at most 3 useful parts (db.table.column); a
+	// stack-backed array keeps this very hot path allocation-free (one slot
+	// of slack so a 4-part name still reaches the error below).
+	var partsBuf [4]string
+	parts := append(partsBuf[:0], first.Val)
 	for p.isOp(".") {
 		if nxt := p.peek(1); nxt.Kind == sqltoken.Op && nxt.Val == "*" {
 			p.pos += 2
