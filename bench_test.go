@@ -444,6 +444,82 @@ func BenchmarkFig4ClusterSizes(b *testing.B) {
 	}
 }
 
+// synthOverlapBoxes builds n boxes drawn from `distinct` SkyServer-bot-shaped
+// templates (htmid windows marching across the sky in a few widths, with
+// occasional ra constraints). distinct == n gives the grid's worst input for
+// a leader scan — every box founds or probes against a long leader list —
+// while a small distinct count models the crawler-dominated real mix.
+func synthOverlapBoxes(n, distinct int) []overlap.Box {
+	widths := []float64{1e5, 2e5, 5e5}
+	templates := make([]overlap.Box, distinct)
+	for i := range templates {
+		w := widths[i%len(widths)]
+		lo := float64(i) * 1e5
+		bx := overlap.Box{
+			Tables: map[string]bool{"photoobj": true},
+			Dims:   map[string]overlap.Dim{"htmid": {Interval: overlap.Interval{Lo: lo, Hi: lo + w}}},
+		}
+		if i%7 == 0 {
+			ra := float64(i % 360)
+			bx.Dims["ra"] = overlap.Dim{Interval: overlap.Interval{Lo: ra, Hi: ra + 0.5}}
+		}
+		templates[i] = bx
+	}
+	boxes := make([]overlap.Box, n)
+	for i := range boxes {
+		boxes[i] = templates[i%distinct]
+	}
+	return boxes
+}
+
+// BenchmarkClusterBoxes is the quadratic leader-scan baseline at 1k and 10k
+// boxes, low (64 distinct) and high (all distinct) distinctness.
+func BenchmarkClusterBoxes(b *testing.B) {
+	for _, c := range []struct {
+		name        string
+		n, distinct int
+	}{
+		{"1k_low", 1000, 64},
+		{"1k_high", 1000, 1000},
+		{"10k_low", 10000, 64},
+		{"10k_high", 10000, 10000},
+	} {
+		boxes := synthOverlapBoxes(c.n, c.distinct)
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(overlap.ClusterBoxes(boxes, 0.9)) == 0 {
+					b.Fatal("no clusters")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClusterBoxesGrid is the bucketed replacement on the same inputs
+// (serial grid; the parallel driver is exercised by the pipeline benches).
+func BenchmarkClusterBoxesGrid(b *testing.B) {
+	for _, c := range []struct {
+		name        string
+		n, distinct int
+	}{
+		{"1k_low", 1000, 64},
+		{"1k_high", 1000, 1000},
+		{"10k_low", 10000, 64},
+		{"10k_high", 10000, 10000},
+	} {
+		boxes := synthOverlapBoxes(c.n, c.distinct)
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(overlap.ClusterBoxesGrid(boxes, 0.9)) == 0 {
+					b.Fatal("no clusters")
+				}
+			}
+		})
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Ablations (DESIGN.md)
 // ---------------------------------------------------------------------------

@@ -1,15 +1,21 @@
 // Command loggen generates a synthetic SkyServer-style SQL query log in the
-// framework's TSV format (time, user, session, rows, statement).
+// framework's TSV format (time, user, session, rows, statement), or — with
+// -replay — drives the generated workload as closed-loop HTTP traffic
+// against a running sqlcleand and reports ingest latency, backpressure and
+// drain time in benchjson-compatible form.
 //
 // Usage:
 //
-//	loggen [-scale 1.0] [-seed 1] [-o log.tsv] [-truth truth.tsv]
+//	loggen [-scale 1.0] [-seed 1] [-o log.tsv] [-truth truth.tsv] [-retail]
+//	loggen -replay host:port [-clients 4] [-rate 2000] [-duration 10s]
+//	       [-batch 100] [-bench-out replay.json] [-scale 1.0] [-seed 1]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"sqlclean"
 )
@@ -21,6 +27,13 @@ func main() {
 		out       = flag.String("o", "", "output file (default stdout)")
 		truthPath = flag.String("truth", "", "also write ground-truth labels (seq<TAB>kind<TAB>group) to this file")
 		retail    = flag.Bool("retail", false, "generate the retail OLTP workload (paper Example 7) instead of the SkyServer one")
+
+		replay   = flag.String("replay", "", "replay the workload against a sqlcleand at this address instead of writing a file")
+		clients  = flag.Int("clients", 4, "replay: concurrent closed-loop clients")
+		rate     = flag.Float64("rate", 2000, "replay: target entries/sec across all clients (0 = unthrottled)")
+		duration = flag.Duration("duration", 10*time.Second, "replay: load duration")
+		batch    = flag.Int("batch", 100, "replay: entries per ingest request")
+		benchOut = flag.String("bench-out", "", "replay: write benchjson-format JSON results to this file")
 	)
 	flag.Parse()
 
@@ -37,26 +50,54 @@ func main() {
 		log, truth = sqlclean.GenerateWorkload(cfg)
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if *replay != "" {
+		err := runReplay(log, replayOptions{
+			addr:     *replay,
+			clients:  *clients,
+			rate:     *rate,
+			duration: *duration,
+			batch:    *batch,
+			benchOut: *benchOut,
+		})
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		return
+	}
+
+	// Output files are closed explicitly, not deferred: Close surfaces the
+	// final flush's write errors (a full disk would otherwise truncate the
+	// log silently).
+	w := os.Stdout
+	var f *os.File
+	if *out != "" {
+		var err error
+		f, err = os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
 		w = f
 	}
 	if err := sqlclean.WriteLogTSV(w, log); err != nil {
 		fatal(err)
 	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 	if *truthPath != "" {
-		f, err := os.Create(*truthPath)
+		tf, err := os.Create(*truthPath)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		for seq, l := range truth.Labels {
-			fmt.Fprintf(f, "%d\t%s\t%d\n", seq, l.Kind, l.Group)
+			if _, err := fmt.Fprintf(tf, "%d\t%s\t%d\n", seq, l.Kind, l.Group); err != nil {
+				fatal(err)
+			}
+		}
+		if err := tf.Close(); err != nil {
+			fatal(err)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "loggen: wrote %d entries (%d users)\n", len(log), log.Users())

@@ -1,0 +1,275 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"sqlclean"
+)
+
+// Replay mode turns loggen into a closed-loop traffic driver: N clients
+// partition the generated workload by user (preserving each user's query
+// order), rewrite event timestamps to send time (so the engine's watermark
+// sees a live stream, not a years-old archive), and POST batches against a
+// running sqlcleand until the duration elapses — cycling through the
+// workload as often as needed. The harness measures per-request ingest
+// latency, the 429 backpressure rate, and the post-load drain time, and
+// reports them in the same shape as `go test -bench` output: bench-text
+// lines on stdout (pipeable into benchjson, including `benchjson
+// -compare`) plus an optional benchjson-format JSON file usable as a
+// -compare baseline.
+
+type replayOptions struct {
+	addr     string        // host:port or URL of the sqlcleand daemon
+	clients  int           // concurrent closed-loop clients
+	rate     float64       // target entries/sec across all clients; 0 = unthrottled
+	duration time.Duration // load duration
+	batch    int           // entries per POST
+	benchOut string        // write benchjson-format JSON here ("" = skip)
+}
+
+type clientStats struct {
+	requests    int64
+	entriesSent int64
+	accepted    int64
+	rejected429 int64
+	errors      int64
+	latencies   []time.Duration
+}
+
+func runReplay(log sqlclean.Log, o replayOptions) error {
+	if o.clients <= 0 {
+		o.clients = 4
+	}
+	if o.batch <= 0 {
+		o.batch = 100
+	}
+	if o.duration <= 0 {
+		o.duration = 10 * time.Second
+	}
+	base := o.addr
+	if !bytes.HasPrefix([]byte(base), []byte("http")) {
+		base = "http://" + base
+	}
+
+	// Partition by user: a user's entries always flow through one client,
+	// so per-user order — the engine's ordering contract — is preserved.
+	parts := make([]sqlclean.Log, o.clients)
+	for _, e := range log {
+		h := fnv.New32a()
+		h.Write([]byte(e.User))
+		c := int(h.Sum32()) % o.clients
+		if c < 0 {
+			c += o.clients
+		}
+		parts[c] = append(parts[c], e)
+	}
+
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	if _, err := healthz(httpc, base); err != nil {
+		return fmt.Errorf("daemon not reachable at %s: %w", base, err)
+	}
+
+	stats := make([]clientStats, o.clients)
+	deadline := time.Now().Add(o.duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < o.clients; c++ {
+		if len(parts[c]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			replayClient(httpc, base, parts[c], o, deadline, &stats[c])
+		}(c)
+	}
+	wg.Wait()
+	loadElapsed := time.Since(start)
+
+	// Drain: the daemon acknowledged entries into bounded queues; time how
+	// long it takes the shard drains to apply everything.
+	drainStart := time.Now()
+	drainDeadline := drainStart.Add(60 * time.Second)
+	for {
+		h, err := healthz(httpc, base)
+		if err == nil && h.QueueDepth == 0 {
+			break
+		}
+		if time.Now().After(drainDeadline) {
+			return fmt.Errorf("daemon did not drain within 60s")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	drain := time.Since(drainStart)
+
+	// Merge per-client stats.
+	var total clientStats
+	for _, st := range stats {
+		total.requests += st.requests
+		total.entriesSent += st.entriesSent
+		total.accepted += st.accepted
+		total.rejected429 += st.rejected429
+		total.errors += st.errors
+		total.latencies = append(total.latencies, st.latencies...)
+	}
+	if total.requests == 0 || len(total.latencies) == 0 {
+		return fmt.Errorf("no requests completed against %s", base)
+	}
+	sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(total.latencies)-1))
+		return total.latencies[i]
+	}
+	rate429 := 100 * float64(total.rejected429) / float64(total.requests)
+	nsPerEntry := 0.0
+	if total.accepted > 0 {
+		nsPerEntry = float64(loadElapsed.Nanoseconds()) / float64(total.accepted)
+	}
+
+	// benchjson's Result shape, keyed like go test -bench names.
+	type result struct {
+		Iterations int64   `json:"iterations"`
+		NsPerOp    float64 `json:"ns_per_op"`
+	}
+	results := map[string]result{
+		"BenchmarkReplayIngestP50":  {int64(len(total.latencies)), float64(pct(0.50).Nanoseconds())},
+		"BenchmarkReplayIngestP95":  {int64(len(total.latencies)), float64(pct(0.95).Nanoseconds())},
+		"BenchmarkReplayIngestP99":  {int64(len(total.latencies)), float64(pct(0.99).Nanoseconds())},
+		"BenchmarkReplayDrain":      {1, float64(drain.Nanoseconds())},
+		"BenchmarkReplayThroughput": {total.accepted, nsPerEntry},
+		"BenchmarkReplay429Rate":    {total.requests, rate429},
+	}
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r := results[n]
+		fmt.Printf("%s \t%8d\t%12.0f ns/op\n", n, r.Iterations, r.NsPerOp)
+	}
+	if o.benchOut != "" {
+		f, err := os.Create(o.benchOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		"loggen: replay %s: %d reqs, %d entries sent, %d accepted, %d×429 (%.1f%%), %d errors, p99 %s, drain %s\n",
+		o.duration, total.requests, total.entriesSent, total.accepted,
+		total.rejected429, rate429, total.errors, pct(0.99), drain)
+	return nil
+}
+
+// replayClient is one closed-loop producer: it cycles through its partition
+// in order, rewriting timestamps to now, pacing to its share of the target
+// rate, and backing off when the daemon sheds load with 429.
+func replayClient(httpc *http.Client, base string, part sqlclean.Log, o replayOptions, deadline time.Time, st *clientStats) {
+	var interval time.Duration
+	if o.rate > 0 {
+		perClient := o.rate / float64(o.clients)
+		interval = time.Duration(float64(o.batch) / perClient * float64(time.Second))
+	}
+	next := time.Now()
+	cursor := 0
+	var buf bytes.Buffer
+	batch := make(sqlclean.Log, 0, o.batch)
+	for time.Now().Before(deadline) {
+		if interval > 0 {
+			if now := time.Now(); now.Before(next) {
+				time.Sleep(next.Sub(now))
+			}
+			next = next.Add(interval)
+			if next.Before(time.Now()) {
+				next = time.Now() // shed pacing debt instead of bursting
+			}
+		}
+
+		batch = batch[:0]
+		now := time.Now()
+		for len(batch) < o.batch {
+			e := part[cursor]
+			e.Time = now
+			batch = append(batch, e)
+			cursor++
+			if cursor == len(part) {
+				cursor = 0 // closed loop: wrap around the workload
+			}
+		}
+		buf.Reset()
+		if err := sqlclean.WriteLogTSV(&buf, batch); err != nil {
+			st.errors++
+			continue
+		}
+
+		t0 := time.Now()
+		resp, err := httpc.Post(base+"/ingest?format=tsv", "text/tab-separated-values", &buf)
+		if err != nil {
+			st.errors++
+			continue
+		}
+		var ir struct {
+			Accepted int `json:"accepted"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&ir)
+		resp.Body.Close()
+		st.latencies = append(st.latencies, time.Since(t0))
+		st.requests++
+		st.entriesSent += int64(len(batch))
+		st.accepted += int64(ir.Accepted)
+		switch {
+		case resp.StatusCode == http.StatusOK:
+		case resp.StatusCode == http.StatusTooManyRequests:
+			st.rejected429++
+			backoff := 100 * time.Millisecond
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if s, err := strconv.Atoi(ra); err == nil && s > 0 {
+					backoff = time.Duration(s) * time.Second
+				}
+			}
+			if backoff > time.Second {
+				backoff = time.Second
+			}
+			time.Sleep(backoff)
+		default:
+			st.errors++
+		}
+	}
+}
+
+type healthPayload struct {
+	Status     string `json:"status"`
+	QueueDepth int    `json:"queue_depth"`
+}
+
+func healthz(httpc *http.Client, base string) (healthPayload, error) {
+	var h healthPayload
+	resp, err := httpc.Get(base + "/healthz")
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return h, fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	return h, err
+}

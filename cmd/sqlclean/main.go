@@ -4,7 +4,7 @@
 // Usage:
 //
 //	sqlclean [-dup 1s] [-gap 5m] [-no-key-check] [-no-users] [-workers 0]
-//	         [-clean out.tsv] [-removal out.tsv] [-top 15]
+//	         [-cluster 0.9] [-clean out.tsv] [-removal out.tsv] [-top 15]
 //	         [-progress] [-debug-addr :6060] log.tsv
 //
 // With no file argument the log is read from stdin. -progress renders a
@@ -39,6 +39,7 @@ func main() {
 		jsonOut    = flag.String("json", "", "write the full analysis (report, templates, instances) as JSON to this file")
 		streaming  = flag.Bool("stream", false, "bounded-memory streaming mode (TSV input only): sessions are cleaned and written as they close")
 		workers    = flag.Int("workers", 0, "parallelism for the parse/detect stages: 0 = all CPUs, 1 = serial")
+		clusterT   = flag.Float64("cluster", 0, "overlap-distance threshold for §6.9 access-area clustering (0 disables; the paper uses 0.9)")
 		top        = flag.Int("top", 15, "number of top patterns/antipatterns to print")
 		progress   = flag.Bool("progress", false, "render a live progress line (rate, ETA) on stderr")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/pprof/ and /debug/vars on this address (e.g. :6060)")
@@ -115,6 +116,7 @@ func main() {
 		DisableKeyCheck:    *noKeyCheck,
 		SolveToFixpoint:    *fixpoint,
 		Workers:            *workers,
+		ClusterThreshold:   *clusterT,
 		Metrics:            metrics,
 	}
 	if *progress {
@@ -164,6 +166,15 @@ func main() {
 	fmt.Println()
 	for _, s := range res.Report.SolveStats {
 		fmt.Printf("solved %-10s: %d instances, %d → %d queries\n", s.Kind, s.Solved, s.QueriesBefore, s.QueriesAfter)
+	}
+	// The per-run Overlap-call count depends on worker scheduling (the
+	// parallel driver probes pre-batch clusters the serial order would
+	// short-circuit), so the report prints only worker-invariant figures:
+	// the clustering itself and the leader-scan counterfactual.
+	if *clusterT > 0 {
+		fmt.Printf("clusters (threshold %g): %d, avg size %.1f (grid pruned a %d-comparison leader scan)\n",
+			*clusterT, res.Report.ClusterCount, res.Report.ClusterAvgSize,
+			res.Report.ClusterWork.ScanComparisons)
 	}
 
 	if *cleanOut != "" {

@@ -7,7 +7,8 @@
 //	sqlcleand [-addr :8080] [-dup 1s] [-gap 5m] [-no-key-check]
 //	          [-shards 0] [-queue 1024] [-max-body 32] [-clean out.tsv]
 //	          [-data-dir DIR] [-fsync interval] [-fsync-interval 1s]
-//	          [-snapshot-interval 5m] [-max-skew 0] [-version]
+//	          [-snapshot-interval 5m] [-max-skew 0] [-no-clusters]
+//	          [-cluster-threshold 0.9] [-cluster-max-boxes 4096] [-version]
 //
 // Endpoints:
 //
@@ -15,6 +16,7 @@
 //	               or TSV lines with ?format=tsv; 429 + Retry-After when the
 //	               ingest queues are full
 //	GET  /report   incremental cleaning report (JSON)
+//	GET  /clusters overlap clustering of the observed predicate boxes
 //	GET  /healthz  liveness, version, queue and session state
 //	GET  /metrics  Prometheus text; /debug/pprof/ and /debug/vars too
 //
@@ -63,6 +65,9 @@ func main() {
 		fsyncEvery = flag.Duration("fsync-interval", time.Second, "background fsync cadence for -fsync interval")
 		snapEvery  = flag.Duration("snapshot-interval", 5*time.Minute, "checkpoint cadence (<0 disables periodic snapshots)")
 		maxSkew    = flag.Duration("max-skew", 0, "reject entries this far past the event-time watermark (0 = disabled)")
+		noClusters = flag.Bool("no-clusters", false, "disable the GET /clusters overlap-clustering surface")
+		clusterT   = flag.Float64("cluster-threshold", 0.9, "default overlap-distance threshold for GET /clusters")
+		clusterMax = flag.Int("cluster-max-boxes", 4096, "distinct predicate boxes kept for clustering (further ones are counted as dropped)")
 		version    = flag.Bool("version", false, "print the build stamp and exit")
 	)
 	flag.Parse()
@@ -107,6 +112,9 @@ func main() {
 		MaxBodyBytes:     *maxBody << 20,
 		Metrics:          metrics,
 		Emit:             emit,
+		ClustersDisabled: *noClusters,
+		ClusterThreshold: *clusterT,
+		ClusterMaxBoxes:  *clusterMax,
 		DataDir:          *dataDir,
 		Fsync:            policy,
 		FsyncInterval:    *fsyncEvery,

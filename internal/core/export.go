@@ -39,6 +39,12 @@ type ReportJSON struct {
 	SWSTemplates    int `json:"sws_templates"`
 	SWSQueries      int `json:"sws_queries"`
 
+	// Clustering summary (present only when the run clustered).
+	ClusterCount              int     `json:"cluster_count,omitempty"`
+	ClusterAvgSize            float64 `json:"cluster_avg_size,omitempty"`
+	ClusterComparisons        int64   `json:"cluster_comparisons,omitempty"`
+	ClusterComparisonsAvoided int64   `json:"cluster_comparisons_avoided,omitempty"`
+
 	// DurationNS is the run's wall-clock time in nanoseconds; Stages is
 	// the hierarchical stage-timing tree (per-stage durations,
 	// cardinalities, and per-worker utilization for parallel stages).
@@ -124,6 +130,11 @@ func Export(res *Result, maxInstances int) ExportDoc {
 		SWSTemplates:    r.SWSTemplates,
 		SWSQueries:      r.SWSQueries,
 		DurationNS:      int64(r.Duration),
+
+		ClusterCount:              r.ClusterCount,
+		ClusterAvgSize:            r.ClusterAvgSize,
+		ClusterComparisons:        r.ClusterWork.Comparisons,
+		ClusterComparisonsAvoided: r.ClusterWork.Avoided(),
 	}
 	if r.Stages.Name != "" {
 		stages := r.Stages

@@ -15,6 +15,8 @@ import (
 	"sqlclean/internal/dedup"
 	"sqlclean/internal/logmodel"
 	"sqlclean/internal/obs"
+	"sqlclean/internal/overlap"
+	"sqlclean/internal/parallel"
 	"sqlclean/internal/parsedlog"
 	"sqlclean/internal/pattern"
 	"sqlclean/internal/rewrite"
@@ -71,6 +73,13 @@ type Config struct {
 	// MaxSequenceLen bounds multi-template sequence mining (default 3;
 	// values below 2 disable sequence mining).
 	MaxSequenceLen int
+	// ClusterThreshold enables overlap clustering of the pre-clean log's
+	// predicate boxes (§6.9): each query joins the first cluster whose
+	// representative's region is at overlap distance below the threshold.
+	// Zero — the default — skips the stage; the paper's operating point is
+	// 0.9. Clustering runs on the grid-pruned parallel path, whose output
+	// is identical to the quadratic leader scan.
+	ClusterThreshold float64
 	// Workers is the degree of parallelism for the embarrassingly parallel
 	// stages (statement parsing, per-session antipattern detection,
 	// per-template SWS classification): 0 selects runtime.GOMAXPROCS, 1
@@ -154,6 +163,14 @@ type Report struct {
 	SWSQueries           int
 	QueriesInAntipattern int
 
+	// ClusterCount and ClusterAvgSize summarize the optional overlap
+	// clustering stage (zero when Config.ClusterThreshold is unset).
+	ClusterCount   int
+	ClusterAvgSize float64
+	// ClusterWork counts the clustering stage's pairwise-overlap work and
+	// what the unpruned leader scan would have cost.
+	ClusterWork overlap.Counters
+
 	// Duration is the run's wall-clock time.
 	Duration time.Duration
 	// Stages is the hierarchical stage-timing tree: one node per pipeline
@@ -211,6 +228,12 @@ type Result struct {
 	Instances []antipattern.Instance
 	// SWS maps template fingerprints classified as sliding-window search.
 	SWS map[uint64]bool
+	// Clusters groups the pre-clean log by accessed data region (§6.9);
+	// member indices refer to Parsed. Nil unless Config.ClusterThreshold
+	// is positive.
+	Clusters []overlap.Cluster
+	// ClusterStats summarizes Clusters (count, average size, size ranks).
+	ClusterStats overlap.Stats
 	// Replacements lists every solved instance in clean-log order.
 	Replacements []rewrite.Replacement
 
@@ -333,6 +356,34 @@ func Run(input logmodel.Log, cfg Config) (*Result, error) {
 	sp.SetInt("in", int64(len(res.Templates)))
 	sp.SetInt("sws_templates", int64(res.Report.SWSTemplates))
 	endStage(met, sp)
+
+	// Optional stage: overlap clustering of the accessed data regions
+	// (§6.9). Boxes are derived from the already-parsed pre-clean log, so
+	// the stage costs no extra parsing; signature dedup plus the exact grid
+	// index keep it near-linear even on all-distinct predicate mixes.
+	if cfg.ClusterThreshold > 0 {
+		sp = beginStage(root, met, "cluster")
+		boxes := parallel.MapSpan(sp, cfg.Workers, res.Parsed, func(_ int, pe parsedlog.Entry) overlap.Box {
+			if pe.Info == nil {
+				return overlap.Box{Tables: map[string]bool{}, Dims: map[string]overlap.Dim{}}
+			}
+			return overlap.FromInfo(pe.Info)
+		})
+		res.Clusters = overlap.ClusterBoxesFastGrid(boxes, cfg.ClusterThreshold, cfg.Workers, &res.Report.ClusterWork)
+		res.ClusterStats = overlap.Summarize(res.Clusters)
+		res.Report.ClusterCount = res.ClusterStats.Count
+		res.Report.ClusterAvgSize = res.ClusterStats.AvgSize
+		sp.SetInt("in", int64(len(boxes)))
+		sp.SetInt("clusters", int64(res.ClusterStats.Count))
+		sp.SetInt("comparisons", res.Report.ClusterWork.Comparisons)
+		sp.SetInt("comparisons_avoided", res.Report.ClusterWork.Avoided())
+		endStage(met, sp)
+		met.Counter("cluster_boxes_total").Add(int64(len(boxes)))
+		met.Counter("cluster_clusters_total").Add(int64(res.ClusterStats.Count))
+		met.Counter("cluster_cells_probed_total").Add(res.Report.ClusterWork.CellsProbed)
+		met.Counter("cluster_comparisons_total").Add(res.Report.ClusterWork.Comparisons)
+		met.Counter("cluster_comparisons_avoided_total").Add(res.Report.ClusterWork.Avoided())
+	}
 
 	// Stage 5: detect antipatterns.
 	reg := antipattern.DefaultRegistry(cfg.Catalog, antipattern.Options{

@@ -16,6 +16,11 @@ import (
 // at distance 0 from an identical box and the leader algorithm assigns each
 // distinct box deterministically.
 
+// Signature canonically encodes a box: identical boxes — and only identical
+// boxes — share a signature. Callers use it to deduplicate boxes before
+// clustering (the server's box registry does this at ingest time).
+func Signature(b Box) string { return signature(b) }
+
 // signature canonically encodes a box: sorted tables, then sorted dims.
 func signature(b Box) string {
 	var sb strings.Builder
@@ -64,10 +69,29 @@ func ClusterBoxesFast(boxes []Box, threshold float64) []Cluster {
 		// do not merge, so deduplication would change the result.
 		return ClusterBoxes(boxes, threshold)
 	}
-	// Group indices by box signature, keeping first-occurrence order.
+	distinct, members := dedupBoxes(boxes)
+	return expandClusters(ClusterBoxes(distinct, threshold), members, len(boxes))
+}
+
+// ClusterBoxesFastGrid composes both scaling levers: signature dedup
+// shrinks n to the distinct boxes, grid pruning with the parallel driver
+// removes the quadratic leader scan over those. Output is identical to
+// ClusterBoxes for every threshold and worker count. ctr (may be nil)
+// counts the clustering work over the distinct boxes.
+func ClusterBoxesFastGrid(boxes []Box, threshold float64, workers int, ctr *Counters) []Cluster {
+	if threshold <= 0 {
+		return ClusterBoxesGridCounted(boxes, threshold, ctr)
+	}
+	distinct, members := dedupBoxes(boxes)
+	dc := ClusterBoxesGridParallelCounted(distinct, threshold, workers, ctr)
+	return expandClusters(dc, members, len(boxes))
+}
+
+// dedupBoxes groups input indices by box signature, keeping
+// first-occurrence order: distinct[i] is the first box with its signature,
+// members[i] the input indices sharing it (ascending).
+func dedupBoxes(boxes []Box) (distinct []Box, members [][]int) {
 	bySig := map[string]int{} // signature -> distinct index
-	var distinct []Box
-	var members [][]int
 	for i, b := range boxes {
 		sig := signature(b)
 		di, ok := bySig[sig]
@@ -79,20 +103,25 @@ func ClusterBoxesFast(boxes []Box, threshold float64) []Cluster {
 		}
 		members[di] = append(members[di], i)
 	}
+	return distinct, members
+}
 
-	// Leader clustering over the distinct boxes only.
-	distinctClusters := ClusterBoxes(distinct, threshold)
-
-	// Expand back to original indices. Cluster and member order must match
-	// what ClusterBoxes would produce on the full input: clusters are
-	// founded by first occurrence, and within a cluster the original
-	// indices appear in input order.
+// expandClusters maps a clustering of distinct boxes back to original
+// indices. Cluster and member order must match what ClusterBoxes would
+// produce on the full input: clusters are founded by first occurrence, and
+// within a cluster the original indices appear in input order. One backing
+// array serves every cluster's member slice: total membership is exactly n,
+// so a single allocation replaces the per-cluster append-growth (which
+// reallocated log₂(size) times per cluster).
+func expandClusters(distinctClusters []Cluster, members [][]int, n int) []Cluster {
 	out := make([]Cluster, len(distinctClusters))
+	backing := make([]int, 0, n)
 	for ci, dc := range distinctClusters {
-		var all []int
+		start := len(backing)
 		for _, di := range dc.Members {
-			all = append(all, members[di]...)
+			backing = append(backing, members[di]...)
 		}
+		all := backing[start:len(backing):len(backing)]
 		sort.Ints(all)
 		out[ci] = Cluster{Representative: all[0], Members: all}
 	}

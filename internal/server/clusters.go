@@ -1,0 +1,202 @@
+// The /clusters surface: the daemon keeps a bounded registry of the
+// distinct predicate boxes it has cleaned (updated as sessions close, so it
+// costs one signature per emitted entry — the statements themselves are
+// parse-cache hits) and clusters them on demand with the exact grid path.
+// This is the §6.9 user-interest view, live: which regions of the data
+// space the traffic touches, and how many queries share each region.
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"sqlclean/internal/logmodel"
+	"sqlclean/internal/overlap"
+)
+
+const (
+	defaultClusterThreshold = 0.9
+	defaultClusterMaxBoxes  = 4096
+)
+
+// boxRegistry accumulates distinct predicate boxes with occurrence counts.
+// Memory is bounded: once maxBoxes distinct signatures exist, new distinct
+// boxes are counted as dropped instead of stored (queries matching an
+// already-known box still count normally).
+type boxRegistry struct {
+	// The registry is only mutated under Server.emitMu (observe runs inside
+	// emit) and snapshotted under it (snapshot), so it needs no lock of its
+	// own beyond that discipline.
+	maxBoxes int
+	bySig    map[string]int
+	boxes    []overlap.Box
+	counts   []int64
+	examples []string
+	total    int64 // queries observed, including ones hitting dropped boxes
+	dropped  int64 // distinct boxes not stored because the registry was full
+}
+
+func newBoxRegistry(maxBoxes int) *boxRegistry {
+	if maxBoxes <= 0 {
+		maxBoxes = defaultClusterMaxBoxes
+	}
+	return &boxRegistry{maxBoxes: maxBoxes, bySig: map[string]int{}}
+}
+
+// observe folds one cleaned batch into the registry. Statements were just
+// parsed by the engine, so the shared parser resolves them from cache.
+func (s *Server) observeBoxes(l logmodel.Log) {
+	parsed, _ := s.cfg.Stream.Parser.ParseParallelSpan(l, 1, nil)
+	r := s.boxes
+	for _, pe := range parsed {
+		if pe.Info == nil {
+			continue
+		}
+		r.total++
+		b := overlap.FromInfo(pe.Info)
+		sig := overlap.Signature(b)
+		di, ok := r.bySig[sig]
+		if !ok {
+			if len(r.boxes) >= r.maxBoxes {
+				r.dropped++
+				s.mBoxesDropped.Inc()
+				continue
+			}
+			di = len(r.boxes)
+			r.bySig[sig] = di
+			r.boxes = append(r.boxes, b)
+			r.counts = append(r.counts, 0)
+			r.examples = append(r.examples, pe.Statement)
+			s.gDistinctBoxes.Set(int64(len(r.boxes)))
+		}
+		r.counts[di]++
+	}
+}
+
+// snapshot copies the registry state for lock-free clustering. The box
+// slice is append-only, so sharing the backing array with a length-bounded
+// reslice is safe.
+func (s *Server) snapshotBoxes() (boxes []overlap.Box, counts []int64, examples []string, total, dropped int64) {
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	r := s.boxes
+	boxes = r.boxes[:len(r.boxes):len(r.boxes)]
+	counts = append([]int64(nil), r.counts...)
+	examples = r.examples[:len(r.examples):len(r.examples)]
+	return boxes, counts, examples, r.total, r.dropped
+}
+
+// ClusterInfo is one cluster in the /clusters response.
+type ClusterInfo struct {
+	// Size is the number of distinct boxes in the cluster.
+	Size int `json:"size"`
+	// Queries is the number of observed queries across those boxes.
+	Queries int64 `json:"queries"`
+	// Example is a statement whose box is the cluster's representative.
+	Example string `json:"example"`
+}
+
+// ClustersPayload is the GET /clusters document.
+type ClustersPayload struct {
+	Threshold     float64 `json:"threshold"`
+	DistinctBoxes int     `json:"distinct_boxes"`
+	TotalQueries  int64   `json:"total_queries"`
+	// DroppedBoxes counts distinct boxes beyond the registry bound; when
+	// non-zero the clustering covers a prefix of the distinct traffic.
+	DroppedBoxes int64   `json:"dropped_boxes,omitempty"`
+	ClusterCount int     `json:"cluster_count"`
+	AvgSize      float64 `json:"avg_size"`
+	// Grid work counters for this clustering call.
+	Comparisons        int64 `json:"comparisons"`
+	ComparisonsAvoided int64 `json:"comparisons_avoided"`
+	CellsProbed        int64 `json:"cells_probed"`
+	// Clusters are the top clusters by observed query count.
+	Clusters []ClusterInfo `json:"clusters,omitempty"`
+}
+
+// Clusters clusters the observed distinct boxes at the given threshold and
+// returns the top clusters by query weight. Safe to call while ingestion
+// runs.
+func (s *Server) Clusters(threshold float64, top int) ClustersPayload {
+	if threshold <= 0 {
+		threshold = s.clusterThreshold()
+	}
+	if top <= 0 {
+		top = 20
+	}
+	boxes, counts, examples, total, dropped := s.snapshotBoxes()
+
+	var ctr overlap.Counters
+	clusters := overlap.ClusterBoxesGridParallelCounted(boxes, threshold, 0, &ctr)
+	st := overlap.Summarize(clusters)
+
+	s.mBoxesClustered.Add(ctr.Boxes)
+	s.mClusterCells.Add(ctr.CellsProbed)
+	s.mClusterAvoided.Add(ctr.Avoided())
+
+	p := ClustersPayload{
+		Threshold:          threshold,
+		DistinctBoxes:      len(boxes),
+		TotalQueries:       total,
+		DroppedBoxes:       dropped,
+		ClusterCount:       st.Count,
+		AvgSize:            st.AvgSize,
+		Comparisons:        ctr.Comparisons,
+		ComparisonsAvoided: ctr.Avoided(),
+		CellsProbed:        ctr.CellsProbed,
+	}
+	infos := make([]ClusterInfo, len(clusters))
+	for i, c := range clusters {
+		var q int64
+		for _, m := range c.Members {
+			q += counts[m]
+		}
+		infos[i] = ClusterInfo{Size: c.Size(), Queries: q, Example: examples[c.Representative]}
+	}
+	// Partial selection sort: top is small and the list is rebuilt per
+	// request, so O(top·n) beats pulling in a heap.
+	for i := 0; i < len(infos) && i < top; i++ {
+		best := i
+		for j := i + 1; j < len(infos); j++ {
+			if infos[j].Queries > infos[best].Queries {
+				best = j
+			}
+		}
+		infos[i], infos[best] = infos[best], infos[i]
+	}
+	if len(infos) > top {
+		infos = infos[:top]
+	}
+	p.Clusters = infos
+	return p
+}
+
+func (s *Server) clusterThreshold() float64 {
+	if s.cfg.ClusterThreshold > 0 {
+		return s.cfg.ClusterThreshold
+	}
+	return defaultClusterThreshold
+}
+
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
+	if s.boxes == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "clustering disabled"})
+		return
+	}
+	threshold := 0.0
+	if v := r.URL.Query().Get("threshold"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 || f > 1 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "threshold must be in (0, 1]"})
+			return
+		}
+		threshold = f
+	}
+	top := 0
+	if v := r.URL.Query().Get("top"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			top = n
+		}
+	}
+	writeJSON(w, http.StatusOK, s.Clusters(threshold, top))
+}

@@ -69,6 +69,19 @@ type Config struct {
 	// re-emitted on replay: Emit delivery is at-least-once across restarts.
 	Emit func(logmodel.Log)
 
+	// ClustersDisabled turns off the live overlap-clustering surface
+	// (GET /clusters). By default the daemon keeps a bounded registry of
+	// the distinct predicate boxes it has cleaned and clusters them on
+	// demand.
+	ClustersDisabled bool
+	// ClusterThreshold is the default overlap-distance threshold for
+	// GET /clusters (0 selects 0.9, the paper's operating point); requests
+	// can override it per call.
+	ClusterThreshold float64
+	// ClusterMaxBoxes bounds the distinct boxes the registry stores (0
+	// selects 4096); further distinct boxes are counted as dropped.
+	ClusterMaxBoxes int
+
 	// DataDir enables crash durability: it holds the write-ahead journal
 	// (DataDir/wal-*.log) and engine snapshots (DataDir/snapshot-*.json).
 	// Empty keeps the daemon purely in-memory.
@@ -157,6 +170,15 @@ type Server struct {
 	mSnapshotErrs *obs.Counter
 	mJournalErrs  *obs.Counter
 	gSnapshotLSN  *obs.Gauge
+
+	// boxes is the distinct-predicate-box registry behind GET /clusters;
+	// nil when Config.ClustersDisabled is set. Mutated only under emitMu.
+	boxes           *boxRegistry
+	mBoxesDropped   *obs.Counter
+	mBoxesClustered *obs.Counter
+	mClusterCells   *obs.Counter
+	mClusterAvoided *obs.Counter
+	gDistinctBoxes  *obs.Gauge
 }
 
 // New builds the engine, restores durable state when Config.DataDir is set
@@ -196,6 +218,17 @@ func New(cfg Config) (*Server, error) {
 		mSnapshotErrs: cfg.Metrics.Counter("snapshot_errors_total"),
 		mJournalErrs:  cfg.Metrics.Counter("journal_append_errors_total"),
 		gSnapshotLSN:  cfg.Metrics.Gauge("snapshot_last_lsn"),
+
+		mBoxesDropped:   cfg.Metrics.Counter("cluster_boxes_dropped_total"),
+		mBoxesClustered: cfg.Metrics.Counter("cluster_boxes_clustered_total"),
+		mClusterCells:   cfg.Metrics.Counter("cluster_cells_probed_total"),
+		mClusterAvoided: cfg.Metrics.Counter("cluster_comparisons_avoided_total"),
+		gDistinctBoxes:  cfg.Metrics.Gauge("cluster_distinct_boxes"),
+	}
+	if !cfg.ClustersDisabled {
+		// Created before durability replay so re-emitted sessions populate
+		// the registry exactly like live traffic.
+		s.boxes = newBoxRegistry(cfg.ClusterMaxBoxes)
 	}
 	if cfg.DataDir != "" {
 		// Restore + replay runs before the drain goroutines exist, so the
@@ -258,10 +291,16 @@ func (s *Server) emit(l logmodel.Log) {
 		return
 	}
 	s.mEmitted.Add(int64(len(l)))
+	if s.cfg.Emit == nil && s.boxes == nil {
+		return
+	}
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	if s.boxes != nil {
+		s.observeBoxes(l)
+	}
 	if s.cfg.Emit != nil {
-		s.emitMu.Lock()
 		s.cfg.Emit(l)
-		s.emitMu.Unlock()
 	}
 }
 
@@ -310,12 +349,14 @@ func (s *Server) Close(ctx context.Context) error {
 //
 //	POST /ingest   NDJSON (default) or TSV log lines; 429 on full queue
 //	GET  /report   incremental cleaning report (JSON)
+//	GET  /clusters overlap clustering of observed predicate boxes (§6.9)
 //	GET  /healthz  liveness, version, queue and session state
 //	/metrics, /debug/pprof/, /debug/vars   the obs debug surface
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("GET /report", s.handleReport)
+	mux.HandleFunc("GET /clusters", s.handleClusters)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	debug := obs.NewDebugMux(s.reg)
 	mux.Handle("/metrics", debug)

@@ -4,7 +4,11 @@
 # then drain gracefully. A second phase checks crash durability: SIGKILL the
 # daemon mid-feed, restart it on the same -data-dir (journal replay), finish
 # the feed, and require the Add-driven /report numbers to equal an
-# uninterrupted run's. Run via `make smoke` (which builds bin/ first).
+# uninterrupted run's. A third phase drives the closed-loop replay harness
+# (loggen -replay) against the daemon for a few seconds, requires its
+# bench-text/JSON output to round-trip through `benchjson -compare`, and
+# asserts GET /clusters returns a non-empty clustering. Run via `make smoke`
+# (which builds bin/ first).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -44,7 +48,10 @@ grep -q '"size_original": *[1-9]' "$TMP/report.json" || {
   echo "smoke: report empty:" >&2; cat "$TMP/report.json" >&2; exit 1
 }
 
-curl -sf "http://$ADDR/metrics" | grep -q ingest_accepted_total || {
+# Buffer /metrics to a file: piping into grep -q under pipefail is racy —
+# grep exits at the first match and curl's SIGPIPE fails the pipeline.
+curl -sf "http://$ADDR/metrics" >"$TMP/metrics.txt"
+grep -q ingest_accepted_total "$TMP/metrics.txt" || {
   echo "smoke: /metrics missing ingest counters" >&2; exit 1
 }
 
@@ -132,3 +139,47 @@ diff "$TMP/report-ref.txt" "$TMP/report-crash.txt" >&2 || {
 }
 
 echo "smoke: crash recovery ok (SIGKILL after $HALF entries, replayed and converged at $TOTAL)"
+
+# ---------------------------------------------------------------------------
+# Replay load harness + /clusters: drive the daemon with loggen's closed-loop
+# replay mode for 5 seconds, require the harness to finish (preflight, load,
+# drain) and its results to round-trip through `benchjson -compare` (the
+# bench-text lines on stdout against the -bench-out JSON it wrote — byte-level
+# proof both outputs speak benchjson's schema), then require a non-empty
+# overlap clustering of the predicate boxes the run produced.
+# ---------------------------------------------------------------------------
+
+"$BIN" -addr "$ADDR" 2>"$TMP/replay-daemon.log" &
+PID=$!
+for i in $(seq 1 50); do
+  if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "smoke: daemon died:" >&2; cat "$TMP/replay-daemon.log" >&2; exit 1
+  fi
+  sleep 0.1
+done
+
+go run ./cmd/loggen -replay "$ADDR" -scale 0.2 -clients 4 -rate 3000 \
+  -duration 5s -bench-out "$TMP/replay.json" >"$TMP/replay.txt" || {
+  echo "smoke: replay harness failed:" >&2; cat "$TMP/replay-daemon.log" >&2; exit 1
+}
+grep -q 'BenchmarkReplayIngestP99' "$TMP/replay.txt" || {
+  echo "smoke: replay emitted no p99 line:" >&2; cat "$TMP/replay.txt" >&2; exit 1
+}
+grep -q 'BenchmarkReplayDrain' "$TMP/replay.txt" || {
+  echo "smoke: replay emitted no drain line:" >&2; cat "$TMP/replay.txt" >&2; exit 1
+}
+go run ./cmd/benchjson -compare "$TMP/replay.json" <"$TMP/replay.txt" >/dev/null || {
+  echo "smoke: benchjson -compare rejected the replay harness output" >&2; exit 1
+}
+
+curl -sf "http://$ADDR/clusters?top=5" >"$TMP/clusters.json"
+grep -q '"cluster_count": *[1-9]' "$TMP/clusters.json" || {
+  echo "smoke: /clusters returned an empty clustering:" >&2
+  cat "$TMP/clusters.json" >&2; exit 1
+}
+
+kill -TERM "$PID"
+wait "$PID"
+
+echo "smoke: replay ok ($(awk '/BenchmarkReplayIngestP99/{print $3}' "$TMP/replay.txt") ns p99, non-empty /clusters)"
