@@ -9,16 +9,24 @@
 //	loggen [-scale 1.0] [-seed 1] [-o log.tsv] [-truth truth.tsv] [-retail]
 //	loggen -replay host:port [-clients 4] [-rate 2000] [-duration 10s]
 //	       [-batch 100] [-bench-out replay.json] [-scale 1.0] [-seed 1]
+//
+// Both modes accept -log-level and -log-format for the structured stderr
+// diagnostics; the TSV log and the bench-text replay lines stay on stdout.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"sqlclean"
 )
+
+// logger carries structured stderr diagnostics; the TSV log on stdout and
+// the replay bench-text lines keep their stdout contracts untouched.
+var logger *slog.Logger
 
 func main() {
 	var (
@@ -34,8 +42,16 @@ func main() {
 		duration = flag.Duration("duration", 10*time.Second, "replay: load duration")
 		batch    = flag.Int("batch", 100, "replay: entries per ingest request")
 		benchOut = flag.String("bench-out", "", "replay: write benchjson-format JSON results to this file")
+
+		logLevel  = flag.String("log-level", "info", "stderr log verbosity: debug | info | warn | error")
+		logFormat = flag.String("log-format", "text", "stderr log format: text | json")
 	)
 	flag.Parse()
+	l, lerr := sqlclean.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if lerr != nil {
+		fatal(lerr)
+	}
+	logger = l.With("component", "loggen")
 
 	var log sqlclean.Log
 	var truth *sqlclean.Truth
@@ -100,10 +116,14 @@ func main() {
 			fatal(err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "loggen: wrote %d entries (%d users)\n", len(log), log.Users())
+	logger.Info("workload written", "entries", len(log), "users", log.Users())
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "loggen:", err)
+	if logger != nil {
+		logger.Error("fatal", "error", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "loggen:", err)
+	}
 	os.Exit(1)
 }

@@ -172,10 +172,11 @@ func runReplay(log sqlclean.Log, o replayOptions) error {
 			return err
 		}
 	}
-	fmt.Fprintf(os.Stderr,
-		"loggen: replay %s: %d reqs, %d entries sent, %d accepted, %d×429 (%.1f%%), %d errors, p99 %s, drain %s\n",
-		o.duration, total.requests, total.entriesSent, total.accepted,
-		total.rejected429, rate429, total.errors, pct(0.99), drain)
+	logger.Info("replay done",
+		"duration", o.duration.String(), "requests", total.requests,
+		"entries_sent", total.entriesSent, "accepted", total.accepted,
+		"rejected_429", total.rejected429, "rejected_429_pct", rate429,
+		"errors", total.errors, "p99", pct(0.99).String(), "drain", drain.String())
 	return nil
 }
 

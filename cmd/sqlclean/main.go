@@ -5,11 +5,14 @@
 //
 //	sqlclean [-dup 1s] [-gap 5m] [-no-key-check] [-no-users] [-workers 0]
 //	         [-cluster 0.9] [-clean out.tsv] [-removal out.tsv] [-top 15]
-//	         [-progress] [-debug-addr :6060] log.tsv
+//	         [-progress] [-debug-addr :6060] [-log-level info]
+//	         [-log-format text] log.tsv
 //
 // With no file argument the log is read from stdin. -progress renders a
 // live rate/ETA line on stderr; -debug-addr serves /metrics (Prometheus
-// text), /debug/pprof/ and /debug/vars while the run is in flight.
+// text), /debug/pprof/ and /debug/vars while the run is in flight. All
+// stderr diagnostics are structured log lines (-log-format json for
+// machine-readable output); the report on stdout is untouched.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
@@ -44,6 +48,8 @@ func main() {
 		progress   = flag.Bool("progress", false, "render a live progress line (rate, ETA) on stderr")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/pprof/ and /debug/vars on this address (e.g. :6060)")
 		timing     = flag.Bool("timing", false, "print the per-stage timing tree after the run")
+		logLevel   = flag.String("log-level", "info", "stderr log verbosity: debug | info | warn | error")
+		logFormat  = flag.String("log-format", "text", "stderr log format: text | json")
 		version    = flag.Bool("version", false, "print the build stamp and exit")
 	)
 	flag.Parse()
@@ -51,6 +57,13 @@ func main() {
 		fmt.Println("sqlclean", sqlclean.Version())
 		return
 	}
+	// Diagnostics go to stderr as structured logs; the report, cleaned log
+	// and progress line keep their stdout/stderr contracts untouched.
+	l, lerr := sqlclean.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if lerr != nil {
+		fatal(lerr)
+	}
+	logger = l.With("component", "sqlclean")
 
 	// Observability: one registry feeds the debug endpoint, the progress
 	// reporter and the pipeline's hot-path counters.
@@ -64,7 +77,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "sqlclean: debug server on http://%s (/metrics, /debug/pprof/, /debug/vars)\n", addr)
+		logger.Info("debug server listening",
+			"url", "http://"+addr, "endpoints", "/metrics /debug/pprof/ /debug/vars")
 	}
 
 	var r io.Reader = os.Stdin
@@ -215,8 +229,16 @@ func truncate(s string, n int) string {
 	return s[:n-1] + "…"
 }
 
+// logger carries structured stderr diagnostics; nil only before flag
+// parsing, when fatal falls back to a plain line.
+var logger *slog.Logger
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sqlclean:", err)
+	if logger != nil {
+		logger.Error("fatal", "error", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "sqlclean:", err)
+	}
 	os.Exit(1)
 }
 
@@ -293,8 +315,9 @@ func runStreaming(r io.Reader, dup, gap time.Duration, noKeyCheck bool, cleanOut
 	}
 	emit(p.Close())
 	st := p.Stats()
-	fmt.Fprintf(os.Stderr, "stream: %d in, %d selects, %d duplicates, %d out, %d queries solved away\n",
-		st.In, st.Selects, st.Duplicates, st.Out, st.Selects-st.Duplicates-st.Out)
+	logger.Info("stream done",
+		"in", st.In, "selects", st.Selects, "duplicates", st.Duplicates,
+		"out", st.Out, "solved_away", st.Selects-st.Duplicates-st.Out)
 	if jsonOut != "" {
 		f, err := os.Create(jsonOut)
 		if err != nil {

@@ -8,7 +8,9 @@
 //	          [-shards 0] [-queue 1024] [-max-body 32] [-clean out.tsv]
 //	          [-data-dir DIR] [-fsync interval] [-fsync-interval 1s]
 //	          [-snapshot-interval 5m] [-max-skew 0] [-no-clusters]
-//	          [-cluster-threshold 0.9] [-cluster-max-boxes 4096] [-version]
+//	          [-cluster-threshold 0.9] [-cluster-max-boxes 4096]
+//	          [-log-level info] [-log-format text] [-slow-request 1s]
+//	          [-version]
 //
 // Endpoints:
 //
@@ -17,8 +19,16 @@
 //	               ingest queues are full
 //	GET  /report   incremental cleaning report (JSON)
 //	GET  /clusters overlap clustering of the observed predicate boxes
-//	GET  /healthz  liveness, version, queue and session state
+//	GET  /healthz  liveness, version, queue, session and watermark state
+//	GET  /statusz  human status page (?format=text for plain text)
+//	GET  /debug/requests  recent and slowest request traces (?view=slow)
 //	GET  /metrics  Prometheus text; /debug/pprof/ and /debug/vars too
+//
+// Every POST /ingest is traced end to end (admission, enqueue, journal
+// group-commit, async emit) under a trace ID that is honored from or echoed
+// into the X-Trace-Id header; requests slower than -slow-request log a warn
+// line with per-stage timings. Logs are structured (-log-format json for
+// machine-readable lines).
 //
 // SIGINT/SIGTERM shut down gracefully: in-flight requests finish, the queues
 // drain, and every open session is flushed through detection and solving
@@ -45,6 +55,7 @@ import (
 	"sqlclean/internal/buildinfo"
 	"sqlclean/internal/journal"
 	"sqlclean/internal/logmodel"
+	"sqlclean/internal/obs"
 	"sqlclean/internal/server"
 	"sqlclean/internal/stream"
 )
@@ -68,12 +79,27 @@ func main() {
 		noClusters = flag.Bool("no-clusters", false, "disable the GET /clusters overlap-clustering surface")
 		clusterT   = flag.Float64("cluster-threshold", 0.9, "default overlap-distance threshold for GET /clusters")
 		clusterMax = flag.Int("cluster-max-boxes", 4096, "distinct predicate boxes kept for clustering (further ones are counted as dropped)")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug | info | warn | error")
+		logFormat  = flag.String("log-format", "text", "log output format: text | json")
+		slowReq    = flag.Duration("slow-request", time.Second, "log a warn line with stage timings for ingest requests at or above this latency (<0 disables)")
 		version    = flag.Bool("version", false, "print the build stamp and exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println("sqlcleand", buildinfo.String())
 		return
+	}
+
+	// The server and journal tag their own component attr, so they get the
+	// base logger; the daemon's own lines carry component=sqlcleand.
+	baseLogger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatalPlain(err)
+	}
+	logger := baseLogger.With("component", "sqlcleand")
+	fatal := func(err error) {
+		logger.Error("fatal", "error", err)
+		os.Exit(1)
 	}
 
 	var emit func(logmodel.Log)
@@ -86,7 +112,7 @@ func main() {
 		// The server serializes Emit calls, so plain writes are safe.
 		emit = func(l logmodel.Log) {
 			if err := logmodel.WriteTSV(f, l); err != nil {
-				fmt.Fprintln(os.Stderr, "sqlcleand: write clean log:", err)
+				logger.Error("write clean log failed", "path", *cleanOut, "error", err)
 			}
 		}
 	}
@@ -111,6 +137,8 @@ func main() {
 		QueueSize:        *queue,
 		MaxBodyBytes:     *maxBody << 20,
 		Metrics:          metrics,
+		Logger:           baseLogger,
+		SlowRequest:      *slowReq,
 		Emit:             emit,
 		ClustersDisabled: *noClusters,
 		ClusterThreshold: *clusterT,
@@ -124,8 +152,8 @@ func main() {
 		fatal(err)
 	}
 	if *dataDir != "" {
-		fmt.Fprintf(os.Stderr, "sqlcleand: durable in %s (fsync=%s), replayed %d journal entries\n",
-			*dataDir, policy, srv.Replayed())
+		logger.Info("durability enabled",
+			"data_dir", *dataDir, "fsync", string(policy), "replayed", srv.Replayed())
 	}
 
 	httpSrv := &http.Server{
@@ -135,8 +163,9 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "sqlcleand %s listening on %s (%d shards)\n",
-		buildinfo.Short(), *addr, srv.Engine().NumShards())
+	logger.Info("listening",
+		"version", buildinfo.Short(), "addr", *addr, "shards", srv.Engine().NumShards(),
+		"log_level", *logLevel, "slow_request", slowReq.String())
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -144,23 +173,25 @@ func main() {
 	case err := <-errc:
 		fatal(err)
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "sqlcleand: %v, draining\n", sig)
+		logger.Info("draining", "signal", sig.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "sqlcleand: http shutdown:", err)
+		logger.Error("http shutdown failed", "error", err)
 	}
 	if err := srv.Close(ctx); err != nil {
 		fatal(fmt.Errorf("drain: %w", err))
 	}
 	st := srv.Engine().Stats()
-	fmt.Fprintf(os.Stderr, "sqlcleand: done: %d in, %d selects, %d duplicates, %d out, %d sessions\n",
-		st.In, st.Selects, st.Duplicates, st.Out, st.SessionsEmitted)
+	logger.Info("drained",
+		"in", st.In, "selects", st.Selects, "duplicates", st.Duplicates,
+		"out", st.Out, "sessions", st.SessionsEmitted)
 }
 
-func fatal(err error) {
+// fatalPlain reports an error from before the logger exists.
+func fatalPlain(err error) {
 	fmt.Fprintln(os.Stderr, "sqlcleand:", err)
 	os.Exit(1)
 }

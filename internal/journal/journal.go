@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -98,6 +99,9 @@ type Options struct {
 	// journal_segments, journal_rotations_total and the journal_fsync_ns
 	// histogram.
 	Metrics *obs.Registry
+	// Logger receives structured diagnostics (torn-tail truncation on Open,
+	// segment rotation, background fsync failures). Nil discards them.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -109,6 +113,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Interval <= 0 {
 		o.Interval = DefaultInterval
+	}
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
 	}
 	return o
 }
@@ -182,6 +189,11 @@ func Open(opt Options) (*Writer, error) {
 			f, err := os.OpenFile(segs[i].path, os.O_RDWR, 0o644)
 			if err != nil {
 				return nil, err
+			}
+			if fi, statErr := f.Stat(); statErr == nil && fi.Size() > valid {
+				opt.Logger.Warn("truncating torn journal tail",
+					"component", "journal", "segment", filepath.Base(segs[i].path),
+					"valid_bytes", valid, "torn_bytes", fi.Size()-valid)
 			}
 			if err := f.Truncate(valid); err != nil {
 				f.Close()
@@ -311,8 +323,15 @@ func (w *Writer) backgroundSync() {
 		case <-t.C:
 			w.mu.Lock()
 			if !w.closed && w.f != nil && w.dirty {
-				_ = w.bw.Flush()
-				_ = w.fsyncLocked()
+				err := w.bw.Flush()
+				if err == nil {
+					err = w.fsyncLocked()
+				}
+				if err != nil {
+					// The tail stays dirty; the next Commit or tick retries.
+					w.opt.Logger.Error("background fsync failed",
+						"component", "journal", "error", err)
+				}
 			}
 			w.mu.Unlock()
 		}
@@ -349,6 +368,8 @@ func (w *Writer) rotateLocked(lsn uint64) error {
 	w.size = 0
 	w.segs = append(w.segs, segment{first: lsn, path: path})
 	w.gSegments.Set(int64(len(w.segs)))
+	w.opt.Logger.Debug("rotated journal segment",
+		"component", "journal", "segment", segName(lsn), "first_lsn", lsn, "segments", len(w.segs))
 	return nil
 }
 
@@ -367,6 +388,8 @@ func (w *Writer) TruncateBefore(lsn uint64) (removed int, err error) {
 	}
 	if removed > 0 {
 		err = syncDir(w.opt.Dir)
+		w.opt.Logger.Debug("truncated journal below snapshot",
+			"component", "journal", "segments_removed", removed, "below_lsn", lsn)
 	}
 	w.gSegments.Set(int64(len(w.segs)))
 	return removed, err

@@ -23,8 +23,13 @@ func NewDebugMux(reg *Registry) *http.ServeMux {
 	expvarOnce.Do(func() {
 		expvar.Publish("sqlclean_metrics", expvar.Func(func() any { return reg.Snapshot() }))
 	})
+	// Runtime stats refresh lazily, at scrape time: the registry is passive,
+	// and a mux nobody scrapes should cost nothing. The collector is the
+	// registry's shared one so other scrape surfaces see the same GC deltas.
+	rc := reg.Runtime()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		rc.Collect()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
 	})

@@ -1,0 +1,71 @@
+// Per-endpoint HTTP middleware metrics. The registry has no label support
+// by design (flat atomic names), so the endpoint name is baked into the
+// metric name:
+//
+//	http_<endpoint>_requests_total        requests served
+//	http_<endpoint>_latency_ns            handler latency histogram
+//	http_<endpoint>_response_bytes_total  response body bytes written
+//	http_<endpoint>_status_Nxx_total      responses per status class (2..5)
+//
+// A p50/p95/p99 over the latency histogram (HistogramSnapshot.Quantile) is
+// what /statusz renders as the node's ingest latency story.
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// statusWriter captures the status code and body size a handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// InstrumentHandler wraps h with the per-endpoint metrics above. endpoint
+// must be a metric-name-safe token ("ingest", "report"). A nil registry
+// returns h untouched — the zero-overhead path.
+func InstrumentHandler(reg *Registry, endpoint string, h http.Handler) http.Handler {
+	if reg == nil {
+		return h
+	}
+	requests := reg.Counter(fmt.Sprintf("http_%s_requests_total", endpoint))
+	latency := reg.Histogram(fmt.Sprintf("http_%s_latency_ns", endpoint), DurationBucketsNS)
+	respBytes := reg.Counter(fmt.Sprintf("http_%s_response_bytes_total", endpoint))
+	var classes [6]*Counter
+	for i := 2; i <= 5; i++ {
+		classes[i] = reg.Counter(fmt.Sprintf("http_%s_status_%dxx_total", endpoint, i))
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		requests.Inc()
+		latency.Observe(int64(time.Since(start)))
+		respBytes.Add(sw.bytes)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		if c := sw.status / 100; c >= 2 && c <= 5 {
+			classes[c].Inc()
+		}
+	})
+}

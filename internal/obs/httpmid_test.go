@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestInstrumentHandler(t *testing.T) {
+	reg := NewRegistry()
+	h := InstrumentHandler(reg, "report", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("fail") != "" {
+			http.Error(w, "nope", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("hello")) // implicit 200
+	}))
+
+	for _, url := range []string{"/report", "/report", "/report?fail=1"} {
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, httptest.NewRequest("GET", url, nil))
+	}
+
+	s := reg.Snapshot()
+	if n := s.Counters["http_report_requests_total"]; n != 3 {
+		t.Errorf("requests_total = %d, want 3", n)
+	}
+	if n := s.Counters["http_report_status_2xx_total"]; n != 2 {
+		t.Errorf("status_2xx = %d, want 2", n)
+	}
+	if n := s.Counters["http_report_status_4xx_total"]; n != 1 {
+		t.Errorf("status_4xx = %d, want 1", n)
+	}
+	if n := s.Counters["http_report_response_bytes_total"]; n < 10 {
+		t.Errorf("response_bytes = %d, want ≥ 10 (two hellos + error body)", n)
+	}
+	lat := s.Histograms["http_report_latency_ns"]
+	if lat.Count != 3 {
+		t.Errorf("latency observations = %d, want 3", lat.Count)
+	}
+	if q := lat.Quantile(0.5); q <= 0 {
+		t.Errorf("latency p50 = %v, want > 0", q)
+	}
+}
+
+func TestInstrumentHandlerNilRegistry(t *testing.T) {
+	base := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := InstrumentHandler(nil, "x", base); got == nil {
+		t.Fatal("nil registry must still return a handler")
+	}
+}

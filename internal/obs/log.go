@@ -1,0 +1,63 @@
+// Structured leveled logging: a thin construction layer over log/slog that
+// gives every binary in the module the same two flags (-log-level,
+// -log-format) and every component the same attribute vocabulary. The
+// convention is one logger per process, specialized per component with
+//
+//	logger.With("component", "server")
+//
+// and correlated with the request-trace surface (requests.go) by always
+// attaching "trace_id" to request-scoped lines — `grep <trace_id>` over a
+// JSON log then reconstructs one request's story across components.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLogLevel maps a -log-level flag value to a slog.Level.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NewLogger builds the process logger writing to w. level is debug|info|
+// warn|error (empty selects info); format is text|json (empty selects text).
+// JSON output is one object per line — machine-ingestable, greppable by
+// trace ID.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lv, err := ParseLogLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+}
+
+// nopLevel sits above every real level, so the nop logger's handler refuses
+// all records before formatting anything.
+const nopLevel = slog.Level(127)
+
+// NopLogger returns a logger that discards everything — the default for
+// library layers (server, journal) whose caller did not wire logging up.
+// Enabled() is false at every level, so call sites pay one level check.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: nopLevel}))
+}

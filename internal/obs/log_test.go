@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg = lg.With("component", "test")
+	lg.Debug("hidden")
+	lg.Info("visible", "trace_id", "deadbeef00000000", "accepted", 3)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1 (debug filtered): %q", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("not JSON: %v (%q)", err, lines[0])
+	}
+	if rec["msg"] != "visible" || rec["component"] != "test" || rec["trace_id"] != "deadbeef00000000" {
+		t.Errorf("record: %+v", rec)
+	}
+}
+
+func TestNewLoggerText(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hidden")
+	lg.Warn("shown", "k", "v")
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "shown") || !strings.Contains(out, "k=v") {
+		t.Errorf("text output: %q", out)
+	}
+}
+
+func TestNewLoggerErrors(t *testing.T) {
+	if _, err := NewLogger(&bytes.Buffer{}, "loud", "text"); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := NewLogger(&bytes.Buffer{}, "info", "xml"); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "ERROR": slog.LevelError,
+	} {
+		got, err := ParseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	lg := NopLogger()
+	// Must be callable at every level without output or panic, and disabled
+	// so call sites pay only the level check.
+	lg.Error("nothing")
+	if lg.Enabled(nil, slog.LevelError) {
+		t.Error("nop logger claims to be enabled at error level")
+	}
+}

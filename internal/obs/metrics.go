@@ -181,6 +181,12 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	texts    map[string]*Text
+
+	// rc is the registry's singleton runtime collector (see Runtime): two
+	// scrape surfaces sharing a registry must share the GC-delta state or
+	// go_gc_runs_total counts every cycle once per surface.
+	rcOnce sync.Once
+	rc     *RuntimeCollector
 }
 
 // NewRegistry returns an empty registry.
@@ -270,6 +276,39 @@ type HistogramSnapshot struct {
 	Counts []int64 `json:"counts"` // len(Bounds)+1; last is +Inf
 	Sum    int64   `json:"sum"`
 	Count  int64   `json:"count"`
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the recorded values with
+// linear interpolation inside the containing bucket — the same estimate
+// Prometheus's histogram_quantile makes. Values in the +Inf bucket clamp to
+// the highest finite bound. Returns 0 on an empty histogram.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count <= 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, bound := range h.Bounds {
+		in := float64(h.Counts[i])
+		if cum+in >= rank {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(h.Bounds[i-1])
+			}
+			if in == 0 {
+				return lo // rank fell exactly on the edge of an empty bucket
+			}
+			return lo + (float64(bound)-lo)*(rank-cum)/in
+		}
+		cum += in
+	}
+	return float64(h.Bounds[len(h.Bounds)-1])
 }
 
 // Snapshot is a point-in-time copy of every metric. Individual values are

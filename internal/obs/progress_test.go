@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// syncBuffer guards a bytes.Buffer: Progress emits from its own goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestProgressReportsStageCountAndETA(t *testing.T) {
+	var buf syncBuffer
+	var done atomic.Int64
+	done.Store(25)
+	p := NewProgress(&buf, time.Millisecond, func() ProgressSample {
+		return ProgressSample{Stage: "parse", Done: done.Load(), Total: 100}
+	})
+	p.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(buf.String(), "parse") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no progress line after 2s: %q", buf.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Stop()
+
+	out := buf.String()
+	if !strings.Contains(out, "25/100") {
+		t.Errorf("missing done/total: %q", out)
+	}
+	if !strings.Contains(out, "stmts") || !strings.Contains(out, "elapsed") {
+		t.Errorf("missing rate/elapsed: %q", out)
+	}
+	// Done < Total with a positive rate must render an ETA.
+	if !strings.Contains(out, "ETA") {
+		t.Errorf("missing ETA: %q", out)
+	}
+	// Stop prints a final newline so the shell prompt is not glued to the bar.
+	if !strings.HasSuffix(out, "\n") {
+		t.Errorf("missing trailing newline: %q", out)
+	}
+}
+
+func TestProgressUnknownTotalSuppressesETA(t *testing.T) {
+	var buf syncBuffer
+	p := NewProgress(&buf, time.Millisecond, func() ProgressSample {
+		return ProgressSample{Stage: "stream", Done: 42} // Total 0: streaming input
+	})
+	p.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(buf.String(), "stream") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no progress line after 2s: %q", buf.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Stop()
+	out := buf.String()
+	if strings.Contains(out, "ETA") {
+		t.Errorf("ETA rendered with unknown total: %q", out)
+	}
+	if strings.Contains(out, "/0") {
+		t.Errorf("zero total rendered: %q", out)
+	}
+}
+
+func TestProgressStopIdempotentAndFinalLine(t *testing.T) {
+	var buf syncBuffer
+	p := NewProgress(&buf, time.Hour, func() ProgressSample {
+		return ProgressSample{Stage: "final", Done: 7}
+	})
+	p.Start()
+	p.Stop() // before any tick: Stop itself must emit the final line
+	p.Stop() // second Stop is a no-op, not a double print or panic
+	out := buf.String()
+	if got := strings.Count(out, "final"); got != 1 {
+		t.Errorf("final line printed %d times, want 1: %q", got, out)
+	}
+}
+
+func TestProgressDefaultInterval(t *testing.T) {
+	p := NewProgress(&bytes.Buffer{}, 0, func() ProgressSample { return ProgressSample{} })
+	if p.interval != time.Second {
+		t.Errorf("default interval = %v, want 1s", p.interval)
+	}
+}

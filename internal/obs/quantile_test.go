@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []int64{10, 100, 1000})
+	// 50 observations in (0,10], 40 in (10,100], 10 in (100,1000].
+	for i := 0; i < 50; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(50)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(500)
+	}
+	s := reg.Snapshot().Histograms["lat"]
+
+	// p50 lands exactly on the edge of the first bucket.
+	if q := s.Quantile(0.5); math.Abs(q-10) > 1e-9 {
+		t.Errorf("p50 = %v, want 10", q)
+	}
+	// p90 at the edge of the second.
+	if q := s.Quantile(0.9); math.Abs(q-100) > 1e-9 {
+		t.Errorf("p90 = %v, want 100", q)
+	}
+	// p95 interpolates halfway through the third bucket.
+	if q := s.Quantile(0.95); math.Abs(q-550) > 1e-9 {
+		t.Errorf("p95 = %v, want 550", q)
+	}
+	// p0 and p100 clamp sanely.
+	if q := s.Quantile(0); q < 0 || q > 10 {
+		t.Errorf("p0 = %v, want within first bucket", q)
+	}
+	if q := s.Quantile(1); math.Abs(q-1000) > 1e-9 {
+		t.Errorf("p100 = %v, want 1000", q)
+	}
+}
+
+func TestHistogramQuantileInfBucket(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []int64{10})
+	h.Observe(5)
+	h.Observe(1e6) // +Inf bucket
+	s := reg.Snapshot().Histograms["lat"]
+	// The +Inf bucket cannot be interpolated: clamp to the highest bound.
+	if q := s.Quantile(0.99); math.Abs(q-10) > 1e-9 {
+		t.Errorf("p99 = %v, want clamp to 10", q)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var s HistogramSnapshot
+	if q := s.Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram p50 = %v, want 0", q)
+	}
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := TraceID()
+		if len(id) != 16 {
+			t.Fatalf("TraceID %q: want 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestReqTraceLifecycle(t *testing.T) {
+	l := NewRequestLog(8, 4)
+	tr := l.Start()
+	if tr.ID() == "" {
+		t.Fatal("empty trace ID")
+	}
+	tr.Stage("admission", time.Microsecond)
+	tr.Stage("enqueue", 2*time.Microsecond)
+	tr.SetInt("accepted", 7)
+
+	// Two queued entries plus the handler's own reference.
+	tr.AddPending(1) // handler
+	tr.AddPending(2) // entries
+	tr.DonePending("emit")
+	tr.Finish(200, "ok")
+	s := tr.Snapshot()
+	if s.Active {
+		t.Error("trace still active after Finish")
+	}
+	if s.TotalNS < s.DurationNS {
+		t.Errorf("total %d < sync %d", s.TotalNS, s.DurationNS)
+	}
+	if hasStage(s, "emit") {
+		t.Error("emit stamped before the last pending completion")
+	}
+	tr.DonePending("emit")
+	tr.DonePending("emit")
+	s = tr.Snapshot()
+	if !hasStage(s, "emit") {
+		t.Errorf("emit stage missing after final completion: %+v", s.Stages)
+	}
+	if s.Attrs["accepted"] != 7 {
+		t.Errorf("attrs: %+v", s.Attrs)
+	}
+
+	rec := l.Recent(10)
+	if len(rec) != 1 || rec[0].ID != tr.ID() {
+		t.Fatalf("recent: %+v", rec)
+	}
+	// The ring holds the live pointer: the emit stage stamped after Finish
+	// must be visible in the view.
+	if !hasStage(rec[0], "emit") {
+		t.Errorf("recent view missing post-Finish emit stage: %+v", rec[0].Stages)
+	}
+}
+
+func hasStage(s ReqTraceSnapshot, name string) bool {
+	for _, st := range s.Stages {
+		if st.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRequestLogRingEviction(t *testing.T) {
+	l := NewRequestLog(4, 2)
+	var ids []string
+	for i := 0; i < 6; i++ {
+		tr := l.Start()
+		ids = append(ids, tr.ID())
+		tr.Finish(200, "ok")
+	}
+	rec := l.Recent(10)
+	if len(rec) != 4 {
+		t.Fatalf("recent kept %d, want ring size 4", len(rec))
+	}
+	// Newest first: 5,4,3,2.
+	for i, want := range []string{ids[5], ids[4], ids[3], ids[2]} {
+		if rec[i].ID != want {
+			t.Errorf("recent[%d] = %s, want %s", i, rec[i].ID, want)
+		}
+	}
+}
+
+func TestRequestLogSlowest(t *testing.T) {
+	l := NewRequestLog(16, 3)
+	durations := []time.Duration{3 * time.Millisecond, time.Millisecond, 5 * time.Millisecond, 2 * time.Millisecond}
+	var ids []string
+	for _, d := range durations {
+		tr := l.StartWithID("")
+		ids = append(ids, tr.ID())
+		tr.mu.Lock()
+		tr.start = time.Now().Add(-d) // synthesize a known duration
+		tr.mu.Unlock()
+		tr.Finish(200, "ok")
+	}
+	slow := l.Slowest(10)
+	if len(slow) != 3 {
+		t.Fatalf("slowest kept %d, want 3", len(slow))
+	}
+	// 5ms, 3ms, 2ms — the 1ms one evicted.
+	if slow[0].ID != ids[2] || slow[1].ID != ids[0] || slow[2].ID != ids[3] {
+		t.Errorf("slowest order: %v %v %v (ids %v)", slow[0].ID, slow[1].ID, slow[2].ID, ids)
+	}
+	for i := 1; i < len(slow); i++ {
+		if slow[i].DurationNS > slow[i-1].DurationNS {
+			t.Errorf("slowest not ordered: %d before %d", slow[i-1].DurationNS, slow[i].DurationNS)
+		}
+	}
+}
+
+func TestRequestLogHTTP(t *testing.T) {
+	l := NewRequestLog(8, 4)
+	tr := l.StartWithID("feedface00000001")
+	tr.Stage("journal", time.Millisecond)
+	tr.Finish(429, "queue full")
+
+	for _, view := range []string{"", "slow"} {
+		req := httptest.NewRequest("GET", "/debug/requests?n=5&view="+view, nil)
+		rw := httptest.NewRecorder()
+		l.ServeHTTP(rw, req)
+		var p struct {
+			View     string             `json:"view"`
+			Requests []ReqTraceSnapshot `json:"requests"`
+		}
+		if err := json.Unmarshal(rw.Body.Bytes(), &p); err != nil {
+			t.Fatalf("view %q: %v", view, err)
+		}
+		if len(p.Requests) != 1 || p.Requests[0].ID != "feedface00000001" || p.Requests[0].Status != 429 {
+			t.Errorf("view %q: %+v", view, p)
+		}
+	}
+}
+
+func TestRequestLogNilSafe(t *testing.T) {
+	var l *RequestLog
+	tr := l.Start()
+	if tr != nil {
+		t.Fatal("nil log returned a trace")
+	}
+	// All trace methods must be no-ops on nil.
+	tr.Stage("x", time.Second)
+	tr.SetInt("k", 1)
+	tr.AddPending(1)
+	tr.DonePending("emit")
+	tr.Finish(200, "ok")
+	_ = tr.Snapshot()
+	_ = tr.ID()
+	_ = tr.SyncDuration()
+	if l.Recent(5) != nil || l.Slowest(5) != nil {
+		t.Error("nil log returned snapshots")
+	}
+}
+
+// TestRequestLogConcurrent hammers record/stage/view paths; run with -race.
+func TestRequestLogConcurrent(t *testing.T) {
+	l := NewRequestLog(32, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := l.Start()
+				tr.AddPending(2)
+				tr.Stage("enqueue", time.Microsecond)
+				go tr.DonePending("emit")
+				tr.Finish(200, "ok")
+				tr.DonePending("emit")
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			l.Recent(16)
+			l.Slowest(16)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if len(l.Recent(64)) != 32 {
+		t.Errorf("ring should be full at 32, got %d", len(l.Recent(64)))
+	}
+}

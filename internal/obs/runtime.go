@@ -1,0 +1,100 @@
+// Go runtime stats in the registry: goroutine count, heap in use, GC cycle
+// count and a GC pause histogram, plus process uptime. The registry is a
+// passive store, so the stats refresh on demand — the debug mux collects
+// before rendering /metrics, and a status page collects before rendering
+// itself — rather than from a background goroutine nobody may ever scrape.
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// processStart anchors process_uptime_seconds for every collector in the
+// process (a daemon creates one per debug surface; they must agree).
+var processStart = time.Now()
+
+// RuntimeCollector refreshes Go runtime metrics into a registry:
+//
+//	go_goroutines              current goroutine count (gauge, with HWM)
+//	go_heap_inuse_bytes        bytes in in-use heap spans (gauge)
+//	go_heap_alloc_bytes        bytes of live heap objects (gauge)
+//	go_gc_runs_total           completed GC cycles (counter)
+//	go_gc_pause_ns             stop-the-world pause histogram
+//	process_uptime_seconds     seconds since process start (gauge)
+//
+// A nil collector (from a nil registry) is a no-op.
+type RuntimeCollector struct {
+	mu        sync.Mutex
+	lastNumGC uint32
+
+	gGoroutines *Gauge
+	gHeapInuse  *Gauge
+	gHeapAlloc  *Gauge
+	gUptime     *Gauge
+	cGCRuns     *Counter
+	hPause      *Histogram
+}
+
+// NewRuntimeCollector returns a collector bound to reg (nil reg → nil
+// collector, whose Collect is a no-op).
+func NewRuntimeCollector(reg *Registry) *RuntimeCollector {
+	if reg == nil {
+		return nil
+	}
+	return &RuntimeCollector{
+		gGoroutines: reg.Gauge("go_goroutines"),
+		gHeapInuse:  reg.Gauge("go_heap_inuse_bytes"),
+		gHeapAlloc:  reg.Gauge("go_heap_alloc_bytes"),
+		gUptime:     reg.Gauge("process_uptime_seconds"),
+		cGCRuns:     reg.Counter("go_gc_runs_total"),
+		hPause:      reg.Histogram("go_gc_pause_ns", DurationBucketsNS),
+	}
+}
+
+// Collect refreshes every runtime metric. GC pauses observed since the last
+// Collect are fed into the pause histogram (runtime.MemStats keeps the last
+// 256, which bounds what an infrequent scraper can recover). Safe for
+// concurrent use; no-op on a nil receiver.
+func (c *RuntimeCollector) Collect() {
+	if c == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.gGoroutines.Set(int64(runtime.NumGoroutine()))
+	c.gHeapInuse.Set(int64(ms.HeapInuse))
+	c.gHeapAlloc.Set(int64(ms.HeapAlloc))
+	c.gUptime.Set(int64(time.Since(processStart).Seconds()))
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ms.NumGC > c.lastNumGC {
+		newRuns := ms.NumGC - c.lastNumGC
+		c.cGCRuns.Add(int64(newRuns))
+		if newRuns > uint32(len(ms.PauseNs)) {
+			newRuns = uint32(len(ms.PauseNs)) // older pauses were overwritten
+		}
+		for i := ms.NumGC - newRuns + 1; i <= ms.NumGC; i++ {
+			c.hPause.Observe(int64(ms.PauseNs[(i+255)%256]))
+		}
+		c.lastNumGC = ms.NumGC
+	}
+}
+
+// Runtime returns the registry's shared runtime collector, creating it on
+// first use. Every scrape surface of one registry (the /metrics handler, a
+// status page) must use this shared instance: independent collectors each
+// count GC deltas from their own baseline, double-counting every cycle.
+// Nil-safe: a nil registry yields a nil (no-op) collector.
+func (r *Registry) Runtime() *RuntimeCollector {
+	if r == nil {
+		return nil
+	}
+	r.rcOnce.Do(func() { r.rc = NewRuntimeCollector(r) })
+	return r.rc
+}
+
+// Uptime returns the time since process start.
+func Uptime() time.Duration { return time.Since(processStart) }

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestRuntimeCollector(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg)
+	runtime.GC()
+	c.Collect()
+	s := reg.Snapshot()
+	if g := s.Gauges["go_goroutines"].Value; g < 1 {
+		t.Errorf("go_goroutines = %d, want ≥ 1", g)
+	}
+	if h := s.Gauges["go_heap_inuse_bytes"].Value; h <= 0 {
+		t.Errorf("go_heap_inuse_bytes = %d, want > 0", h)
+	}
+	if s.Counters["go_gc_runs_total"] < 1 {
+		t.Errorf("go_gc_runs_total = %d, want ≥ 1 after runtime.GC", s.Counters["go_gc_runs_total"])
+	}
+	if ph := s.Histograms["go_gc_pause_ns"]; ph.Count < 1 {
+		t.Errorf("go_gc_pause_ns observed %d pauses, want ≥ 1", ph.Count)
+	}
+
+	// A second collection must only add the GC cycles that actually ran.
+	before := reg.Snapshot().Counters["go_gc_runs_total"]
+	runtime.GC()
+	runtime.GC()
+	c.Collect()
+	after := reg.Snapshot().Counters["go_gc_runs_total"]
+	if after < before+2 {
+		t.Errorf("gc runs went %d → %d, want +2 or more", before, after)
+	}
+}
+
+func TestRuntimeCollectorNil(t *testing.T) {
+	var c *RuntimeCollector
+	c.Collect() // must not panic
+	if NewRuntimeCollector(nil) != nil {
+		t.Error("nil registry should produce a nil collector")
+	}
+}

@@ -73,7 +73,12 @@ func (s *Server) openDurability() error {
 	if err != nil {
 		return err
 	}
-	_, err = journal.Replay(dir, applied+1, func(_ uint64, payload []byte) error {
+	if applied > 0 {
+		s.log.Info("restored snapshot",
+			"component", "server", "data_dir", dir, "applied_lsn", applied,
+			"open_sessions", s.eng.OpenSessions())
+	}
+	res, err := journal.Replay(dir, applied+1, func(_ uint64, payload []byte) error {
 		e, err := journal.DecodeEntry(payload)
 		if err != nil {
 			// A decoded-but-corrupt frame passed its CRC, so this is a
@@ -99,12 +104,18 @@ func (s *Server) openDurability() error {
 	if err != nil {
 		return fmt.Errorf("server: journal replay: %w", err)
 	}
+	if res.Frames > 0 || res.Torn {
+		s.log.Info("journal replay complete",
+			"component", "server", "frames", res.Frames, "entries_applied", s.replayed,
+			"bytes", res.Bytes, "torn_tail", res.Torn, "last_lsn", res.LastLSN)
+	}
 	jw, err := journal.Open(journal.Options{
 		Dir:          dir,
 		SegmentBytes: s.cfg.SegmentBytes,
 		Policy:       s.cfg.Fsync,
 		Interval:     s.cfg.FsyncInterval,
 		Metrics:      s.reg,
+		Logger:       s.log,
 	})
 	if err != nil {
 		return fmt.Errorf("server: open journal: %w", err)
@@ -138,6 +149,10 @@ func (s *Server) restoreSnapshot(dir string) (uint64, error) {
 		}
 		s.seq.Store(sf.NextSeq)
 		s.gSnapshotLSN.Set(int64(sf.AppliedLSN))
+		// The restored file's mtime anchors snapshot age across restarts.
+		if fi, err := os.Stat(filepath.Join(dir, names[i])); err == nil {
+			s.lastSnapshotNS.Store(fi.ModTime().UnixNano())
+		}
 		return sf.AppliedLSN, nil
 	}
 	return 0, nil
@@ -155,6 +170,7 @@ func (s *Server) snapshotLoop() {
 		case <-t.C:
 			if err := s.takeSnapshot(30 * time.Second); err != nil {
 				s.mSnapshotErrs.Inc()
+				s.log.Error("periodic snapshot failed", "component", "server", "error", err)
 			}
 		}
 	}
@@ -257,6 +273,9 @@ func (s *Server) writeSnapshot(sf snapshotFile) error {
 	}
 	s.mSnapshots.Inc()
 	s.gSnapshotLSN.Set(int64(sf.AppliedLSN))
+	s.lastSnapshotNS.Store(time.Now().UnixNano())
+	s.log.Debug("snapshot written",
+		"component", "server", "applied_lsn", sf.AppliedLSN, "bytes", len(blob))
 	return nil
 }
 
@@ -268,6 +287,7 @@ func (s *Server) closeDurability() {
 	}
 	if err := s.finalSnapshot(); err != nil {
 		s.mSnapshotErrs.Inc()
+		s.log.Error("final snapshot failed", "component", "server", "error", err)
 	}
 	_ = s.jw.Close()
 }

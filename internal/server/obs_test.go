@@ -1,0 +1,360 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sqlclean/internal/logmodel"
+	"sqlclean/internal/obs"
+)
+
+// logBuffer is a concurrency-safe sink for the server's structured logs.
+type logBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *logBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *logBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+type tracePayload struct {
+	View     string                 `json:"view"`
+	Requests []obs.ReqTraceSnapshot `json:"requests"`
+}
+
+// TestIngestTraceEndToEnd follows one replayed ingest request end to end:
+// the supplied X-Trace-Id is echoed back, shows up in GET /debug/requests
+// with admission/enqueue/journal timings plus the async emit stage, and is
+// attached to at least one structured log line.
+func TestIngestTraceEndToEnd(t *testing.T) {
+	var logs logBuffer
+	logger, err := obs.NewLogger(&logs, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{
+		DataDir: t.TempDir(), // journal on: the journal stage must be traced
+		Logger:  logger,
+	})
+
+	base := time.Date(2003, 6, 1, 12, 0, 0, 0, time.UTC)
+	body := ndjsonBody(logmodel.Log{
+		{Time: base, User: "alice", Statement: "SELECT name FROM Employees WHERE id = 1"},
+		{Time: base.Add(time.Second), User: "bob", Statement: "SELECT age FROM Employees WHERE id = 2"},
+	})
+	const traceID = "cafe0000deadbeef"
+	req, err := http.NewRequest("POST", ts.URL+"/ingest", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Trace-Id", traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != traceID {
+		t.Fatalf("X-Trace-Id echoed %q, want %q", got, traceID)
+	}
+
+	// The emit stage is stamped asynchronously by the drain goroutine that
+	// applies the request's last entry; poll the trace view until it lands.
+	var trace obs.ReqTraceSnapshot
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var p tracePayload
+		getJSON(t, ts.URL+"/debug/requests?n=10", &p)
+		for _, r := range p.Requests {
+			if r.ID == traceID {
+				trace = r
+			}
+		}
+		if trace.ID != "" && hasTraceStage(trace, "emit") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s with emit stage not visible; got %+v", traceID, trace)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, want := range []string{"admission", "enqueue", "journal", "emit"} {
+		if !hasTraceStage(trace, want) {
+			t.Errorf("trace missing stage %q: %+v", want, trace.Stages)
+		}
+	}
+	if trace.Attrs["accepted"] != 2 {
+		t.Errorf("trace accepted attr = %d, want 2", trace.Attrs["accepted"])
+	}
+	if trace.Status != http.StatusOK || trace.Active {
+		t.Errorf("trace status=%d active=%v, want 200/finished", trace.Status, trace.Active)
+	}
+	if trace.TotalNS < trace.DurationNS || trace.DurationNS <= 0 {
+		t.Errorf("trace durations: sync=%d total=%d", trace.DurationNS, trace.TotalNS)
+	}
+
+	// The slowest view must surface the same request.
+	var slow tracePayload
+	getJSON(t, ts.URL+"/debug/requests?view=slow&n=10", &slow)
+	found := false
+	for _, r := range slow.Requests {
+		found = found || r.ID == traceID
+	}
+	if !found {
+		t.Errorf("trace %s absent from slowest view", traceID)
+	}
+
+	// And at least one structured log line must carry the trace ID.
+	if !strings.Contains(logs.String(), `"trace_id":"`+traceID+`"`) {
+		t.Errorf("no structured log line with trace_id %s:\n%s", traceID, logs.String())
+	}
+}
+
+func hasTraceStage(s obs.ReqTraceSnapshot, name string) bool {
+	for _, st := range s.Stages {
+		if st.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSlowRequestLogged forces the slow-request path with a 1ns threshold
+// and checks the warn line carries the trace ID and stage timings.
+func TestSlowRequestLogged(t *testing.T) {
+	var logs logBuffer
+	logger, err := obs.NewLogger(&logs, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Logger: logger, SlowRequest: time.Nanosecond})
+
+	base := time.Date(2003, 6, 1, 12, 0, 0, 0, time.UTC)
+	postIngest(t, ts.URL, ndjsonBody(logmodel.Log{
+		{Time: base, User: "alice", Statement: "SELECT 1 FROM T WHERE a = 1"},
+	}))
+
+	out := logs.String()
+	if !strings.Contains(out, `"msg":"slow request"`) {
+		t.Fatalf("no slow-request line:\n%s", out)
+	}
+	var rec map[string]any
+	line := out[strings.Index(out, "{"):]
+	if err := json.Unmarshal([]byte(line[:strings.Index(line, "\n")]), &rec); err != nil {
+		t.Fatalf("slow-request line is not JSON: %v\n%s", err, line)
+	}
+	if rec["trace_id"] == "" || rec["trace_id"] == nil {
+		t.Errorf("slow-request line missing trace_id: %v", rec)
+	}
+	if _, ok := rec["stage_enqueue_ms"]; !ok {
+		t.Errorf("slow-request line missing stage timings: %v", rec)
+	}
+}
+
+// TestSlowRequestDisabled checks a negative threshold suppresses the warn.
+func TestSlowRequestDisabled(t *testing.T) {
+	var logs logBuffer
+	logger, err := obs.NewLogger(&logs, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Logger: logger, SlowRequest: -1})
+	base := time.Date(2003, 6, 1, 12, 0, 0, 0, time.UTC)
+	postIngest(t, ts.URL, ndjsonBody(logmodel.Log{
+		{Time: base, User: "alice", Statement: "SELECT 1 FROM T WHERE a = 1"},
+	}))
+	if strings.Contains(logs.String(), "slow request") {
+		t.Errorf("slow-request logging not disabled:\n%s", logs.String())
+	}
+}
+
+// TestStatusz checks both renderings of the status page.
+func TestStatusz(t *testing.T) {
+	_, ts := newTestServer(t, Config{DataDir: t.TempDir()})
+	base := time.Date(2003, 6, 1, 12, 0, 0, 0, time.UTC)
+	postIngest(t, ts.URL, ndjsonBody(logmodel.Log{
+		{Time: base, User: "alice", Statement: "SELECT name FROM Employees WHERE id = 1"},
+	}))
+
+	resp, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var html bytes.Buffer
+	html.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statusz: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Errorf("statusz content type %q", ct)
+	}
+	page := html.String()
+	for _, want := range []string{"sqlcleand", "Ingest", "Shards", "Durability", "Go process", "journal LSN", "/debug/requests"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("statusz HTML missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/statusz?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text bytes.Buffer
+	text.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("statusz text content type %q", ct)
+	}
+	for _, want := range []string{"sqlcleand status: ok", "goroutines", "shard 000", "journal lsn"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("statusz text missing %q:\n%s", want, text.String())
+		}
+	}
+}
+
+// TestHealthzWatermarkLag checks the lag sentinel before traffic and the
+// real lag after entries flow.
+func TestHealthzWatermarkLag(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var h HealthPayload
+	getJSON(t, ts.URL+"/healthz", &h)
+	if h.WatermarkLagSeconds != -1 {
+		t.Errorf("pre-traffic lag = %v, want -1", h.WatermarkLagSeconds)
+	}
+	for _, lag := range h.ShardWatermarkLagSeconds {
+		if lag != -1 {
+			t.Errorf("pre-traffic shard lag = %v, want -1", lag)
+		}
+	}
+
+	// Event times one hour in the past: the lag must land near 3600s.
+	base := time.Now().UTC().Add(-time.Hour)
+	postIngest(t, ts.URL, ndjsonBody(logmodel.Log{
+		{Time: base, User: "alice", Statement: "SELECT name FROM Employees WHERE id = 1"},
+	}))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		getJSON(t, ts.URL+"/healthz", &h)
+		if h.WatermarkLagSeconds > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watermark lag never rose: %+v", h)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if h.WatermarkLagSeconds < 3500 || h.WatermarkLagSeconds > 3700 {
+		t.Errorf("lag = %.0fs, want ≈ 3600s", h.WatermarkLagSeconds)
+	}
+	if len(h.ShardWatermarkLagSeconds) != h.Shards {
+		t.Errorf("shard lags %d, want %d", len(h.ShardWatermarkLagSeconds), h.Shards)
+	}
+	// Exactly one shard (alice's) has traffic; the rest stay at the sentinel.
+	withTraffic := 0
+	for _, lag := range h.ShardWatermarkLagSeconds {
+		if lag != -1 {
+			withTraffic++
+		}
+	}
+	if withTraffic != 1 {
+		t.Errorf("shards with traffic = %d, want 1", withTraffic)
+	}
+}
+
+// TestPerShardQueueGauges checks the per-shard depth gauges exist and sum to
+// zero once drained.
+func TestPerShardQueueGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, ts := newTestServer(t, Config{Metrics: reg})
+	base := time.Date(2003, 6, 1, 12, 0, 0, 0, time.UTC)
+	postIngest(t, ts.URL, ndjsonBody(logmodel.Log{
+		{Time: base, User: "alice", Statement: "SELECT name FROM Employees WHERE id = 1"},
+		{Time: base.Add(time.Second), User: "bob", Statement: "SELECT age FROM Employees WHERE id = 2"},
+	}))
+	deadline := time.Now().Add(5 * time.Second)
+	for s.qDepth.Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queues never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snap := reg.Snapshot()
+	found := 0
+	for i := 0; i < s.eng.NumShards(); i++ {
+		name := "ingest_queue_depth_shard" + pad3(i)
+		g, ok := snap.Gauges[name]
+		if !ok {
+			t.Fatalf("missing gauge %s", name)
+		}
+		if g.Value != 0 {
+			t.Errorf("%s = %d after drain, want 0", name, g.Value)
+		}
+		found += int(g.Max)
+	}
+	if found < 1 {
+		t.Error("no shard gauge ever saw an entry (high-water sum = 0)")
+	}
+}
+
+func pad3(i int) string {
+	s := "00" + itoa(i)
+	return s[len(s)-3:]
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+// TestEndpointMiddleware checks the per-endpoint HTTP metrics feed.
+func TestEndpointMiddleware(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Config{Metrics: reg})
+	base := time.Date(2003, 6, 1, 12, 0, 0, 0, time.UTC)
+	postIngest(t, ts.URL, ndjsonBody(logmodel.Log{
+		{Time: base, User: "alice", Statement: "SELECT name FROM Employees WHERE id = 1"},
+	}))
+	var h HealthPayload
+	getJSON(t, ts.URL+"/healthz", &h)
+
+	snap := reg.Snapshot()
+	if n := snap.Counters["http_ingest_requests_total"]; n != 1 {
+		t.Errorf("http_ingest_requests_total = %d, want 1", n)
+	}
+	if n := snap.Counters["http_ingest_status_2xx_total"]; n != 1 {
+		t.Errorf("http_ingest_status_2xx_total = %d, want 1", n)
+	}
+	if n := snap.Counters["http_healthz_requests_total"]; n != 1 {
+		t.Errorf("http_healthz_requests_total = %d, want 1", n)
+	}
+	if lat := snap.Histograms["http_ingest_latency_ns"]; lat.Count != 1 {
+		t.Errorf("ingest latency observations = %d, want 1", lat.Count)
+	}
+	if n := snap.Counters["http_ingest_response_bytes_total"]; n <= 0 {
+		t.Errorf("http_ingest_response_bytes_total = %d, want > 0", n)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -60,6 +61,16 @@ type Config struct {
 	// Metrics is the observability registry served on /metrics. Nil creates
 	// a fresh one.
 	Metrics *obs.Registry
+	// Logger receives structured diagnostics (slow requests, snapshot and
+	// journal events). Nil discards them.
+	Logger *slog.Logger
+	// SlowRequest is the ingest latency at or above which a completed
+	// request logs a warn-level line with its trace ID and stage timings
+	// (0 selects 1s; negative disables slow-request logging).
+	SlowRequest time.Duration
+	// RequestLogSize is the capacity of the recent-requests ring behind
+	// GET /debug/requests (0 selects 256).
+	RequestLogSize int
 	// Version is surfaced on /healthz and /report; empty selects the
 	// build stamp.
 	Version string
@@ -110,6 +121,12 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
 	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
+	}
+	if c.SlowRequest == 0 {
+		c.SlowRequest = time.Second
+	}
 	if c.Version == "" {
 		c.Version = buildinfo.String()
 	}
@@ -124,8 +141,10 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg    Config
 	reg    *obs.Registry
+	log    *slog.Logger
+	reqlog *obs.RequestLog
 	eng    *stream.Sharded
-	queues []chan logmodel.Entry
+	queues []chan queued
 	// qMu serializes same-shard enqueues so that, with a journal, a shard's
 	// frame order in the WAL equals its queue order — the invariant that
 	// makes a replay apply entries exactly as the crashed run did.
@@ -154,6 +173,9 @@ type Server struct {
 	snapStop chan struct{}
 	snapWG   sync.WaitGroup
 	replayed int
+	// lastSnapshotNS is the wall-clock unix nanos of the newest on-disk
+	// snapshot (written this run, or the restored file's mtime); 0 = none.
+	lastSnapshotNS atomic.Int64
 
 	mRequests      *obs.Counter
 	mAccepted      *obs.Counter
@@ -163,6 +185,9 @@ type Server struct {
 	mBadLines      *obs.Counter
 	mEmitted       *obs.Counter
 	qDepth         *obs.Gauge
+	// qDepthShard mirrors qDepth per partition: a single hot shard (one
+	// pathological user) is invisible in the aggregate gauge.
+	qDepthShard []*obs.Gauge
 
 	mReplayed     *obs.Counter
 	mReplayRej    *obs.Counter
@@ -199,6 +224,8 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		reg:      cfg.Metrics,
+		log:      cfg.Logger,
+		reqlog:   obs.NewRequestLog(cfg.RequestLogSize, 0),
 		eng:      stream.NewSharded(cfg.Stream),
 		start:    time.Now(),
 		snapStop: make(chan struct{}),
@@ -237,10 +264,12 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	s.queues = make([]chan logmodel.Entry, s.eng.NumShards())
+	s.queues = make([]chan queued, s.eng.NumShards())
 	s.qMu = make([]sync.Mutex, len(s.queues))
+	s.qDepthShard = make([]*obs.Gauge, len(s.queues))
 	for i := range s.queues {
-		s.queues[i] = make(chan logmodel.Entry, cfg.QueueSize)
+		s.queues[i] = make(chan queued, cfg.QueueSize)
+		s.qDepthShard[i] = cfg.Metrics.Gauge(fmt.Sprintf("ingest_queue_depth_shard%03d", i))
 		s.drainWG.Add(1)
 		go s.drain(i)
 	}
@@ -257,13 +286,22 @@ func (s *Server) Engine() *stream.Sharded { return s.eng }
 // Replayed reports how many journal entries the server re-applied at startup.
 func (s *Server) Replayed() int { return s.replayed }
 
+// queued is one ingest queue element: the entry plus the trace of the
+// request that carried it, so the drain can stamp the async emit stage.
+// Traces ride the queue, never the WAL — replayed entries carry a nil trace.
+type queued struct {
+	e  logmodel.Entry
+	tr *obs.ReqTrace
+}
+
 // drain is shard i's single consumer: it preserves per-user ordering and
 // feeds the shard processor, emitting cleaned sessions as they close.
 func (s *Server) drain(i int) {
 	defer s.drainWG.Done()
-	for e := range s.queues[i] {
+	for q := range s.queues[i] {
 		s.qDepth.Add(-1)
-		out, err := s.eng.AddShard(i, e)
+		s.qDepthShard[i].Add(-1)
+		out, err := s.eng.AddShard(i, q.e)
 		if err != nil {
 			switch {
 			case errors.Is(err, stream.ErrFutureSkew):
@@ -275,6 +313,7 @@ func (s *Server) drain(i int) {
 				// contract rejects it. Counted, never fatal to the stream.
 				s.mRejectedOrder.Inc()
 			}
+			q.tr.DonePending("emit")
 			s.pending.Add(-1)
 			continue
 		}
@@ -282,6 +321,7 @@ func (s *Server) drain(i int) {
 		// Applied (and emitted): only now may a snapshot consider this
 		// entry covered. Decremented after emit so a quiescence wait also
 		// proves the Emit callback is idle.
+		q.tr.DonePending("emit")
 		s.pending.Add(-1)
 	}
 }
@@ -350,14 +390,25 @@ func (s *Server) Close(ctx context.Context) error {
 //	POST /ingest   NDJSON (default) or TSV log lines; 429 on full queue
 //	GET  /report   incremental cleaning report (JSON)
 //	GET  /clusters overlap clustering of observed predicate boxes (§6.9)
-//	GET  /healthz  liveness, version, queue and session state
+//	GET  /healthz  liveness, version, queue, session and watermark state
+//	GET  /statusz  self-contained human status page (?format=text for plain)
+//	GET  /debug/requests   recent / slowest request traces (?view=slow)
 //	/metrics, /debug/pprof/, /debug/vars   the obs debug surface
+//
+// Every endpoint is wrapped in per-endpoint latency/status/bytes middleware
+// feeding the registry (http_<endpoint>_* series).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /ingest", s.handleIngest)
-	mux.HandleFunc("GET /report", s.handleReport)
-	mux.HandleFunc("GET /clusters", s.handleClusters)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	handle := func(pattern, endpoint string, h http.Handler) {
+		mux.Handle(pattern, obs.InstrumentHandler(s.reg, endpoint, h))
+	}
+	handle("POST /ingest", "ingest", http.HandlerFunc(s.handleIngest))
+	handle("GET /report", "report", http.HandlerFunc(s.handleReport))
+	handle("GET /clusters", "clusters", http.HandlerFunc(s.handleClusters))
+	handle("GET /healthz", "healthz", http.HandlerFunc(s.handleHealthz))
+	handle("GET /statusz", "statusz", http.HandlerFunc(s.handleStatusz))
+	// More specific than the debug mux's /debug/ subtree, so it wins.
+	handle("GET /debug/requests", "debug_requests", s.reqlog)
 	debug := obs.NewDebugMux(s.reg)
 	mux.Handle("/metrics", debug)
 	mux.Handle("/debug/", debug)
@@ -410,7 +461,7 @@ var errJournal = errors.New("journal append failed")
 // into the journal before enqueue returns, so by the time the HTTP response
 // acknowledges them (handleIngest commits the journal first) they are
 // crash-durable.
-func (s *Server) enqueue(e logmodel.Entry) error {
+func (s *Server) enqueue(e logmodel.Entry, tr *obs.ReqTrace) error {
 	e.Seq = s.seq.Add(1) - 1
 	i := s.eng.ShardFor(e.User)
 	// Read side of the snapshot freeze: while a checkpoint captures engine
@@ -419,9 +470,14 @@ func (s *Server) enqueue(e logmodel.Entry) error {
 	defer s.enqMu.RUnlock()
 	s.qMu[i].Lock()
 	defer s.qMu[i].Unlock()
+	// Register the async completion before the send: the drain may apply the
+	// entry the instant it lands, and its DonePending must not race the
+	// counter to zero ahead of this registration.
+	tr.AddPending(1)
 	select {
-	case s.queues[i] <- e:
+	case s.queues[i] <- queued{e: e, tr: tr}:
 	default:
+		tr.AddPending(-1) // never handed off
 		s.mRejectedFull.Inc()
 		return errQueueFull
 	}
@@ -430,11 +486,13 @@ func (s *Server) enqueue(e logmodel.Entry) error {
 			s.mJournalErrs.Inc()
 			s.pending.Add(1)
 			s.qDepth.Add(1)
+			s.qDepthShard[i].Add(1)
 			return fmt.Errorf("%w: %v", errJournal, err)
 		}
 	}
 	s.pending.Add(1)
 	s.qDepth.Add(1)
+	s.qDepthShard[i].Add(1)
 	s.mAccepted.Inc()
 	return nil
 }
@@ -461,11 +519,23 @@ func (s *Server) beginIngest() bool {
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.mRequests.Inc()
+	// The trace honors an upstream X-Trace-Id (so a client can follow its own
+	// request through the daemon's logs) and is echoed back either way.
+	tr := s.reqlog.StartWithID(r.Header.Get("X-Trace-Id"))
+	w.Header().Set("X-Trace-Id", tr.ID())
+	admStart := time.Now()
 	if !s.beginIngest() {
+		tr.Stage("admission", time.Since(admStart))
 		writeJSON(w, http.StatusServiceUnavailable, ingestResponse{Error: "server draining"})
+		s.finishTrace(tr, http.StatusServiceUnavailable, "draining", 0)
 		return
 	}
 	defer s.ingestWG.Done()
+	// The handler holds one pending reference for the whole request, so the
+	// async emit stage can only be stamped by the drain that applies the
+	// request's true last entry — never mid-scan when a queue briefly empties.
+	tr.AddPending(1)
+	tr.Stage("admission", time.Since(admStart))
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 
 	format := r.URL.Query().Get("format")
@@ -473,34 +543,76 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		format = "tsv"
 	}
 
-	accepted, line, err := s.ingestLines(body, format)
+	scanStart := time.Now()
+	accepted, line, err := s.ingestLines(body, format, tr)
+	tr.Stage("enqueue", time.Since(scanStart))
+	tr.SetInt("accepted", int64(accepted))
 	// Group commit: one flush (and fsync, per policy) per request, before
 	// any acknowledgement — including partial-failure responses, whose
 	// accepted count is a promise too.
 	if s.jw != nil {
-		if cerr := s.jw.Commit(); cerr != nil {
+		jStart := time.Now()
+		cerr := s.jw.Commit()
+		tr.Stage("journal", time.Since(jStart))
+		if cerr != nil {
 			s.mJournalErrs.Inc()
 			writeJSON(w, http.StatusInternalServerError, ingestResponse{Accepted: accepted, Error: "journal commit: " + cerr.Error()})
+			s.finishTrace(tr, http.StatusInternalServerError, "journal commit failed", accepted)
 			return
 		}
 	}
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, ingestResponse{Accepted: accepted})
+		s.finishTrace(tr, http.StatusOK, "ok", accepted)
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, ingestResponse{Accepted: accepted, Error: err.Error(), Line: line})
+		s.finishTrace(tr, http.StatusTooManyRequests, "queue full", accepted)
 	case errors.Is(err, errJournal):
 		writeJSON(w, http.StatusInternalServerError, ingestResponse{Accepted: accepted, Error: err.Error(), Line: line})
+		s.finishTrace(tr, http.StatusInternalServerError, "journal append failed", accepted)
 	default:
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			writeJSON(w, http.StatusRequestEntityTooLarge, ingestResponse{Accepted: accepted, Error: err.Error(), Line: line})
+			s.finishTrace(tr, http.StatusRequestEntityTooLarge, "body too large", accepted)
 			return
 		}
 		s.mBadLines.Inc()
 		writeJSON(w, http.StatusBadRequest, ingestResponse{Accepted: accepted, Error: err.Error(), Line: line})
+		s.finishTrace(tr, http.StatusBadRequest, "bad line", accepted)
 	}
+}
+
+// finishTrace completes an ingest trace: it freezes the synchronous duration,
+// releases the handler's pending reference (letting the drain's final entry
+// stamp the emit stage), and logs the request — warn with stage timings when
+// it breached the slow-request threshold, debug otherwise.
+func (s *Server) finishTrace(tr *obs.ReqTrace, status int, outcome string, accepted int) {
+	tr.Finish(status, outcome)
+	tr.DonePending("emit")
+	d := tr.SyncDuration()
+	slow := s.cfg.SlowRequest > 0 && d >= s.cfg.SlowRequest
+	if !slow && !s.log.Enabled(context.Background(), slog.LevelDebug) {
+		return
+	}
+	attrs := []any{
+		"component", "server",
+		"trace_id", tr.ID(),
+		"status", status,
+		"outcome", outcome,
+		"accepted", accepted,
+		"duration_ms", float64(d) / float64(time.Millisecond),
+	}
+	if slow {
+		for _, st := range tr.Snapshot().Stages {
+			attrs = append(attrs, "stage_"+st.Name+"_ms", float64(st.DurationNS)/float64(time.Millisecond))
+		}
+		s.log.Warn("slow request", attrs...)
+		return
+	}
+	s.log.Debug("ingest request", attrs...)
 }
 
 // ingestLines scans the body line by line — constant memory per request —
@@ -508,12 +620,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // count accepted so far and the failing 1-based input line (real line
 // numbers: blank lines the scanners skip still count, so the reported line
 // matches the client's own view of its payload).
-func (s *Server) ingestLines(body io.Reader, format string) (accepted, line int, err error) {
+func (s *Server) ingestLines(body io.Reader, format string, tr *obs.ReqTrace) (accepted, line int, err error) {
 	if format == "tsv" {
 		lastLine := 0
 		err = logmodel.ScanTSVLines(body, func(lineNo int, e logmodel.Entry) error {
 			lastLine = lineNo
-			if qerr := s.enqueue(e); qerr != nil {
+			if qerr := s.enqueue(e, tr); qerr != nil {
 				return qerr
 			}
 			accepted++
@@ -547,7 +659,7 @@ func (s *Server) ingestLines(body io.Reader, format string) (accepted, line int,
 		if err != nil {
 			return accepted, line, fmt.Errorf("line %d: %v", line, err)
 		}
-		if err := s.enqueue(e); err != nil {
+		if err := s.enqueue(e, tr); err != nil {
 			return accepted, line, err
 		}
 		accepted++
@@ -656,17 +768,35 @@ type DurabilityHealth struct {
 
 // HealthPayload is the GET /healthz document.
 type HealthPayload struct {
-	Status          string            `json:"status"` // "ok" or "draining"
-	Version         string            `json:"version"`
-	UptimeSeconds   float64           `json:"uptime_seconds"`
-	Shards          int               `json:"shards"`
-	OpenSessions    int               `json:"open_sessions"`
-	QueueDepth      int               `json:"queue_depth"`
-	QueueCapacity   int               `json:"queue_capacity"`
-	EntriesIn       int               `json:"entries_in"`
-	EntriesOut      int               `json:"entries_out"`
-	SessionsEmitted int               `json:"sessions_emitted"`
-	Durability      *DurabilityHealth `json:"durability,omitempty"`
+	Status          string  `json:"status"` // "ok" or "draining"
+	Version         string  `json:"version"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	Shards          int     `json:"shards"`
+	OpenSessions    int     `json:"open_sessions"`
+	QueueDepth      int     `json:"queue_depth"`
+	QueueCapacity   int     `json:"queue_capacity"`
+	EntriesIn       int     `json:"entries_in"`
+	EntriesOut      int     `json:"entries_out"`
+	SessionsEmitted int     `json:"sessions_emitted"`
+	// WatermarkLagSeconds is wall-clock now minus the global event-time
+	// watermark (-1 before any entry is accepted). On a live feed this is
+	// the ingestion delay; on a historical replay it is legitimately huge —
+	// the event clock lags reality by the age of the log.
+	WatermarkLagSeconds float64 `json:"watermark_lag_seconds"`
+	// ShardWatermarkLagSeconds is the same lag per shard (-1 for a shard
+	// that has seen no entries); a shard far behind the rest has queue
+	// backlog or a stalled drain.
+	ShardWatermarkLagSeconds []float64         `json:"shard_watermark_lag_seconds,omitempty"`
+	Durability               *DurabilityHealth `json:"durability,omitempty"`
+}
+
+// watermarkLagSeconds converts an event-time watermark to a lag against now
+// (-1 for the zero watermark: no entries yet).
+func watermarkLagSeconds(now time.Time, wm time.Time) float64 {
+	if wm.IsZero() {
+		return -1
+	}
+	return now.Sub(wm).Seconds()
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -674,6 +804,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	status := "ok"
 	if s.closed.Load() {
 		status = "draining"
+	}
+	now := time.Now()
+	shardLags := make([]float64, 0, s.eng.NumShards())
+	for _, wm := range s.eng.ShardWatermarks() {
+		shardLags = append(shardLags, watermarkLagSeconds(now, wm))
 	}
 	h := HealthPayload{
 		Status:          status,
@@ -686,6 +821,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		EntriesIn:       st.In,
 		EntriesOut:      st.Out,
 		SessionsEmitted: st.SessionsEmitted,
+
+		WatermarkLagSeconds:      watermarkLagSeconds(now, s.eng.Watermark()),
+		ShardWatermarkLagSeconds: shardLags,
 	}
 	if s.jw != nil {
 		h.Durability = &DurabilityHealth{

@@ -1,0 +1,257 @@
+// GET /statusz: a self-contained human status page — the one URL an operator
+// opens first on a suspect node. Everything on it comes from state the daemon
+// already tracks (the obs registry, the engine, the journal), assembled at
+// request time; there is no background renderer to keep alive. ?format=text
+// serves the same content as plain text for curl-only environments.
+package server
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"strings"
+	"time"
+
+	"sqlclean/internal/obs"
+)
+
+// statuszShard is one row of the per-shard table.
+type statuszShard struct {
+	Shard      int
+	QueueDepth int64
+	// LagSeconds is wall-clock now minus the shard's event-time watermark;
+	// -1 when the shard has seen no entries.
+	LagSeconds float64
+}
+
+// statuszData is everything the page renders.
+type statuszData struct {
+	Version       string
+	Status        string
+	Uptime        time.Duration
+	ProcessUptime time.Duration
+
+	Shards        []statuszShard
+	GlobalLag     float64
+	OpenSessions  int
+	QueueDepth    int64
+	QueueCapacity int
+
+	IngestRequests int64
+	IngestAccepted int64
+	IngestP50ms    float64
+	IngestP95ms    float64
+	IngestP99ms    float64
+
+	HasJournal     bool
+	JournalLSN     uint64
+	SnapshotLSN    int64
+	Segments       int
+	FsyncP50us     float64
+	FsyncP99us     float64
+	SnapshotAge    time.Duration // -1 encoded as HasSnapshot=false
+	HasSnapshot    bool
+	ReplayedOnBoot int
+
+	HasClusters   bool
+	DistinctBoxes int64
+	BoxesMax      int
+	BoxesDropped  int64
+
+	Goroutines int64
+	HeapInuse  int64
+	GCRuns     int64
+	GCPauseP99 float64
+}
+
+func (s *Server) statuszData() statuszData {
+	// Refresh the shared runtime collector so the Go process rows are current.
+	s.reg.Runtime().Collect()
+	snap := s.reg.Snapshot()
+
+	d := statuszData{
+		Version:       s.cfg.Version,
+		Status:        "ok",
+		Uptime:        time.Since(s.start).Round(time.Second),
+		ProcessUptime: obs.Uptime().Round(time.Second),
+		OpenSessions:  s.eng.OpenSessions(),
+		QueueDepth:    s.qDepth.Value(),
+		QueueCapacity: len(s.queues) * s.cfg.QueueSize,
+	}
+	if s.closed.Load() {
+		d.Status = "draining"
+	}
+	now := time.Now()
+	d.GlobalLag = watermarkLagSeconds(now, s.eng.Watermark())
+	for i, wm := range s.eng.ShardWatermarks() {
+		d.Shards = append(d.Shards, statuszShard{
+			Shard:      i,
+			QueueDepth: s.qDepthShard[i].Value(),
+			LagSeconds: watermarkLagSeconds(now, wm),
+		})
+	}
+
+	d.IngestRequests = snap.Counters["ingest_requests_total"]
+	d.IngestAccepted = snap.Counters["ingest_accepted_total"]
+	if lat, ok := snap.Histograms["http_ingest_latency_ns"]; ok {
+		const ms = float64(time.Millisecond)
+		d.IngestP50ms = lat.Quantile(0.50) / ms
+		d.IngestP95ms = lat.Quantile(0.95) / ms
+		d.IngestP99ms = lat.Quantile(0.99) / ms
+	}
+
+	if s.jw != nil {
+		d.HasJournal = true
+		d.JournalLSN = s.jw.LastLSN()
+		d.Segments = s.jw.Segments()
+		d.SnapshotLSN = s.gSnapshotLSN.Value()
+		d.ReplayedOnBoot = s.replayed
+		if fs, ok := snap.Histograms["journal_fsync_ns"]; ok && fs.Count > 0 {
+			const us = float64(time.Microsecond)
+			d.FsyncP50us = fs.Quantile(0.50) / us
+			d.FsyncP99us = fs.Quantile(0.99) / us
+		}
+		if ns := s.lastSnapshotNS.Load(); ns > 0 {
+			d.HasSnapshot = true
+			d.SnapshotAge = now.Sub(time.Unix(0, ns)).Round(time.Second)
+		}
+	}
+
+	if s.boxes != nil {
+		d.HasClusters = true
+		d.DistinctBoxes = s.gDistinctBoxes.Value()
+		d.BoxesMax = s.boxes.maxBoxes
+		d.BoxesDropped = s.mBoxesDropped.Value()
+	}
+
+	d.Goroutines = snap.Gauges["go_goroutines"].Value
+	d.HeapInuse = snap.Gauges["go_heap_inuse_bytes"].Value
+	d.GCRuns = snap.Counters["go_gc_runs_total"]
+	if gp, ok := snap.Histograms["go_gc_pause_ns"]; ok && gp.Count > 0 {
+		d.GCPauseP99 = gp.Quantile(0.99) / float64(time.Microsecond)
+	}
+	return d
+}
+
+var statuszTmpl = template.Must(template.New("statusz").Funcs(template.FuncMap{
+	"lag": fmtLag,
+	"f1":  func(v float64) string { return fmt.Sprintf("%.1f", v) },
+	"mib": func(v int64) string { return fmt.Sprintf("%.1f MiB", float64(v)/(1<<20)) },
+}).Parse(`<!DOCTYPE html>
+<html><head><title>sqlcleand statusz</title><style>
+body{font-family:sans-serif;margin:1.5em;color:#222}
+h1{font-size:1.3em} h2{font-size:1.05em;margin-top:1.4em;border-bottom:1px solid #ccc}
+table{border-collapse:collapse;margin:.4em 0} td,th{padding:.15em .8em;text-align:right;border-bottom:1px solid #eee}
+th{background:#f5f5f5} .k{text-align:left} .warn{color:#b00}
+</style></head><body>
+<h1>sqlcleand — {{.Status}}</h1>
+<table>
+<tr><td class=k>version</td><td>{{.Version}}</td></tr>
+<tr><td class=k>server uptime</td><td>{{.Uptime}}</td></tr>
+<tr><td class=k>process uptime</td><td>{{.ProcessUptime}}</td></tr>
+</table>
+<h2>Ingest</h2>
+<table>
+<tr><td class=k>requests</td><td>{{.IngestRequests}}</td></tr>
+<tr><td class=k>entries accepted</td><td>{{.IngestAccepted}}</td></tr>
+<tr><td class=k>latency p50 / p95 / p99 (ms)</td><td>{{f1 .IngestP50ms}} / {{f1 .IngestP95ms}} / {{f1 .IngestP99ms}}</td></tr>
+<tr><td class=k>queue depth / capacity</td><td>{{.QueueDepth}} / {{.QueueCapacity}}</td></tr>
+<tr><td class=k>open sessions</td><td>{{.OpenSessions}}</td></tr>
+<tr><td class=k>global watermark lag</td><td>{{lag .GlobalLag}}</td></tr>
+</table>
+<h2>Shards</h2>
+<table><tr><th>shard</th><th>queue depth</th><th>watermark lag</th></tr>
+{{range .Shards}}<tr><td>{{.Shard}}</td><td>{{.QueueDepth}}</td><td>{{lag .LagSeconds}}</td></tr>
+{{end}}</table>
+{{if .HasJournal}}<h2>Durability</h2>
+<table>
+<tr><td class=k>journal LSN</td><td>{{.JournalLSN}}</td></tr>
+<tr><td class=k>snapshot LSN</td><td>{{.SnapshotLSN}}</td></tr>
+<tr><td class=k>journal segments</td><td>{{.Segments}}</td></tr>
+<tr><td class=k>fsync p50 / p99 (µs)</td><td>{{f1 .FsyncP50us}} / {{f1 .FsyncP99us}}</td></tr>
+<tr><td class=k>snapshot age</td><td>{{if .HasSnapshot}}{{.SnapshotAge}}{{else}}never{{end}}</td></tr>
+<tr><td class=k>replayed on boot</td><td>{{.ReplayedOnBoot}}</td></tr>
+</table>{{end}}
+{{if .HasClusters}}<h2>Cluster registry</h2>
+<table>
+<tr><td class=k>distinct boxes</td><td>{{.DistinctBoxes}} / {{.BoxesMax}}</td></tr>
+<tr><td class=k>boxes dropped</td><td>{{.BoxesDropped}}</td></tr>
+</table>{{end}}
+<h2>Go process</h2>
+<table>
+<tr><td class=k>goroutines</td><td>{{.Goroutines}}</td></tr>
+<tr><td class=k>heap in use</td><td>{{mib .HeapInuse}}</td></tr>
+<tr><td class=k>GC runs</td><td>{{.GCRuns}}</td></tr>
+<tr><td class=k>GC pause p99 (µs)</td><td>{{f1 .GCPauseP99}}</td></tr>
+</table>
+<p><a href="/debug/requests">recent requests</a> · <a href="/debug/requests?view=slow">slowest requests</a> · <a href="/metrics">metrics</a> · <a href="/report">report</a> · <a href="/debug/pprof/">pprof</a></p>
+</body></html>
+`))
+
+// fmtLag renders a watermark lag, mapping the -1 sentinel to "no traffic".
+func fmtLag(v float64) string {
+	if v < 0 {
+		return "no traffic"
+	}
+	return (time.Duration(v * float64(time.Second))).Round(time.Millisecond).String()
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	d := s.statuszData()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeStatuszText(w, d)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := statuszTmpl.Execute(w, d); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// writeStatuszText renders the same data as aligned plain text.
+func writeStatuszText(w http.ResponseWriter, d statuszData) {
+	var b strings.Builder
+	row := func(k string, format string, args ...any) {
+		fmt.Fprintf(&b, "%-28s %s\n", k, fmt.Sprintf(format, args...))
+	}
+	fmt.Fprintf(&b, "sqlcleand status: %s\n\n", d.Status)
+	row("version", "%s", d.Version)
+	row("server uptime", "%s", d.Uptime)
+	row("process uptime", "%s", d.ProcessUptime)
+	b.WriteString("\ningest\n")
+	row("  requests", "%d", d.IngestRequests)
+	row("  entries accepted", "%d", d.IngestAccepted)
+	row("  latency p50/p95/p99 ms", "%.1f / %.1f / %.1f", d.IngestP50ms, d.IngestP95ms, d.IngestP99ms)
+	row("  queue depth/capacity", "%d / %d", d.QueueDepth, d.QueueCapacity)
+	row("  open sessions", "%d", d.OpenSessions)
+	row("  global watermark lag", "%s", fmtLag(d.GlobalLag))
+	b.WriteString("\nshards (queue depth, watermark lag)\n")
+	for _, sh := range d.Shards {
+		row(fmt.Sprintf("  shard %03d", sh.Shard), "%d  %s", sh.QueueDepth, fmtLag(sh.LagSeconds))
+	}
+	if d.HasJournal {
+		b.WriteString("\ndurability\n")
+		row("  journal lsn", "%d", d.JournalLSN)
+		row("  snapshot lsn", "%d", d.SnapshotLSN)
+		row("  journal segments", "%d", d.Segments)
+		row("  fsync p50/p99 us", "%.1f / %.1f", d.FsyncP50us, d.FsyncP99us)
+		if d.HasSnapshot {
+			row("  snapshot age", "%s", d.SnapshotAge)
+		} else {
+			row("  snapshot age", "never")
+		}
+		row("  replayed on boot", "%d", d.ReplayedOnBoot)
+	}
+	if d.HasClusters {
+		b.WriteString("\ncluster registry\n")
+		row("  distinct boxes", "%d / %d", d.DistinctBoxes, d.BoxesMax)
+		row("  boxes dropped", "%d", d.BoxesDropped)
+	}
+	b.WriteString("\ngo process\n")
+	row("  goroutines", "%d", d.Goroutines)
+	row("  heap in use", "%.1f MiB", float64(d.HeapInuse)/(1<<20))
+	row("  gc runs", "%d", d.GCRuns)
+	row("  gc pause p99 us", "%.1f", d.GCPauseP99)
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -188,6 +188,30 @@ func (s *Sharded) ShardFor(user string) int {
 // shards.
 func (s *Sharded) OpenSessions() int { return int(s.openCount.Load()) }
 
+// Watermark returns the global max event time across all shards, or the zero
+// time before any entry has been accepted. Safe for concurrent use.
+func (s *Sharded) Watermark() time.Time {
+	ns := s.watermarkNS.Load()
+	if ns == math.MinInt64 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns).UTC()
+}
+
+// ShardWatermarks returns each partition's own max event time (zero for a
+// shard that has seen no entries). A shard whose watermark trails the global
+// one is lagging — its ingest queue has backlog, or its users are simply
+// quiet. Safe for concurrent use; each shard is read under its own lock.
+func (s *Sharded) ShardWatermarks() []time.Time {
+	out := make([]time.Time, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		out[i] = sh.p.Watermark()
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // Add offers one entry, routing it to its user's shard. Cleaned entries of
 // any session that closed as a consequence (in this shard, or in others via
 // the periodic watermark sweep) are returned, sorted by time.

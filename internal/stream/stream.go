@@ -275,6 +275,11 @@ func (p *Processor) Add(e logmodel.Entry) (logmodel.Log, error) {
 	return out, nil
 }
 
+// Watermark returns the max event time this stream has seen (zero before the
+// first entry). Not safe for concurrent use with Add — callers that share a
+// Processor across goroutines must hold the same lock they use for Add.
+func (p *Processor) Watermark() time.Time { return p.watermark }
+
 // evict closes every open session that the watermark proves silent and
 // returns their cleaned entries (unsorted).
 func (p *Processor) evict() logmodel.Log {

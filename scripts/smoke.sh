@@ -7,8 +7,9 @@
 # uninterrupted run's. A third phase drives the closed-loop replay harness
 # (loggen -replay) against the daemon for a few seconds, requires its
 # bench-text/JSON output to round-trip through `benchjson -compare`, and
-# asserts GET /clusters returns a non-empty clustering. Run via `make smoke`
-# (which builds bin/ first).
+# asserts GET /clusters returns a non-empty clustering, /debug/requests
+# holds completed traces, and the JSON log carries slow-request lines with
+# trace IDs. Run via `make smoke` (which builds bin/ first).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -46,6 +47,16 @@ grep -q '"status": *"ok"' "$TMP/healthz.json" || {
 curl -sf "http://$ADDR/report" >"$TMP/report.json"
 grep -q '"size_original": *[1-9]' "$TMP/report.json" || {
   echo "smoke: report empty:" >&2; cat "$TMP/report.json" >&2; exit 1
+}
+
+# The status page must render in both shapes.
+curl -sf "http://$ADDR/statusz" >"$TMP/statusz.html"
+grep -q '<h1>sqlcleand' "$TMP/statusz.html" || {
+  echo "smoke: /statusz did not render:" >&2; head "$TMP/statusz.html" >&2; exit 1
+}
+curl -sf "http://$ADDR/statusz?format=text" >"$TMP/statusz.txt"
+grep -q 'sqlcleand status: ok' "$TMP/statusz.txt" || {
+  echo "smoke: /statusz?format=text did not render:" >&2; cat "$TMP/statusz.txt" >&2; exit 1
 }
 
 # Buffer /metrics to a file: piping into grep -q under pipefail is racy —
@@ -123,7 +134,8 @@ kill -9 "$PID"
 wait "$PID" 2>/dev/null || true
 
 start_daemon "$TMP/data" "$TMP/crash.log"
-grep -q "replayed $HALF journal entries" "$TMP/crash.log" || {
+# The restart's structured "durability enabled" line carries the replay count.
+grep -q "replayed=$HALF" "$TMP/crash.log" || {
   echo "smoke: restart did not replay the $HALF journaled entries:" >&2
   cat "$TMP/crash.log" >&2; exit 1
 }
@@ -149,7 +161,9 @@ echo "smoke: crash recovery ok (SIGKILL after $HALF entries, replayed and conver
 # overlap clustering of the predicate boxes the run produced.
 # ---------------------------------------------------------------------------
 
-"$BIN" -addr "$ADDR" 2>"$TMP/replay-daemon.log" &
+# JSON logs plus a 1µs slow-request threshold: every replayed request must
+# produce a machine-readable slow-request line carrying its trace ID.
+"$BIN" -addr "$ADDR" -log-format json -slow-request 1us 2>"$TMP/replay-daemon.log" &
 PID=$!
 for i in $(seq 1 50); do
   if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
@@ -177,6 +191,18 @@ curl -sf "http://$ADDR/clusters?top=5" >"$TMP/clusters.json"
 grep -q '"cluster_count": *[1-9]' "$TMP/clusters.json" || {
   echo "smoke: /clusters returned an empty clustering:" >&2
   cat "$TMP/clusters.json" >&2; exit 1
+}
+
+# Tracing: the replay traffic must be visible as completed request traces,
+# and the 1µs threshold must have produced structured slow-request lines.
+curl -sf "http://$ADDR/debug/requests?n=5" >"$TMP/requests.json"
+grep -q '"id":' "$TMP/requests.json" || {
+  echo "smoke: /debug/requests returned no traces:" >&2
+  cat "$TMP/requests.json" >&2; exit 1
+}
+grep -q '"msg":"slow request".*"trace_id":' "$TMP/replay-daemon.log" || {
+  echo "smoke: no slow-request line with a trace_id in the JSON log:" >&2
+  tail "$TMP/replay-daemon.log" >&2; exit 1
 }
 
 kill -TERM "$PID"

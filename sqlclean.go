@@ -26,6 +26,7 @@ package sqlclean
 import (
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"time"
 
@@ -260,6 +261,12 @@ type Progress = obs.Progress
 // to call concurrently with the run (registry reads are).
 func NewProgress(w io.Writer, interval time.Duration, sample func() ProgressSample) *Progress {
 	return obs.NewProgress(w, interval, sample)
+}
+
+// NewLogger returns a structured leveled logger writing to w. level is one
+// of debug|info|warn|error (empty selects info); format is text or json.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	return obs.NewLogger(w, level, format)
 }
 
 // InstrumentParallel publishes worker-pool utilization metrics
