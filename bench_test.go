@@ -26,6 +26,7 @@ import (
 	"sqlclean/internal/recommend"
 	"sqlclean/internal/schema"
 	"sqlclean/internal/skeleton"
+	"sqlclean/internal/sketch"
 	"sqlclean/internal/sqlparser"
 	"sqlclean/internal/storage"
 	"sqlclean/internal/stream"
@@ -859,6 +860,34 @@ func BenchmarkStreamSharded(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkSketchIngest measures the sketch layer's per-entry hot path: one
+// HLL distinct-identity update plus one SpaceSaving heavy-hitter update, the
+// cost every accepted entry pays when the daemon runs with sketches enabled.
+func BenchmarkSketchIngest(b *testing.B) {
+	_, res := benchSetup(b)
+	parsed := res.Parsed
+	if len(parsed) == 0 {
+		b.Fatal("empty parsed log")
+	}
+	// Skeleton texts are cached by the stream's template aggregates; render
+	// them outside the timer so the bench isolates the sketch updates.
+	skeletons := make([]string, len(parsed))
+	for i := range parsed {
+		skeletons[i] = parsed[i].Info.SkeletonText()
+	}
+	sk := sketch.New(sketch.Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pe := parsed[i%len(parsed)]
+		sk.HLL.AddString(pe.User)
+		sk.Top.Observe(pe.Info.Fingerprint, skeletons[i%len(parsed)])
+	}
+	if sk.HLL.Occupied() == 0 {
+		b.Fatal("sketch saw no identities")
 	}
 }
 

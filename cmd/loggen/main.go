@@ -31,7 +31,7 @@ var logger *slog.Logger
 func main() {
 	var (
 		scale     = flag.Float64("scale", 1.0, "size multiplier over the ~10k-entry default composition")
-		seed      = flag.Int64("seed", 1, "random seed (same seed, same log)")
+		seed      = flag.Int64("seed", 1, "random seed (same seed, same log; in -replay it also pins the user-to-client layout, so two hosts with one seed drive identical load shapes)")
 		out       = flag.String("o", "", "output file (default stdout)")
 		truthPath = flag.String("truth", "", "also write ground-truth labels (seq<TAB>kind<TAB>group) to this file")
 		retail    = flag.Bool("retail", false, "generate the retail OLTP workload (paper Example 7) instead of the SkyServer one")
@@ -74,6 +74,7 @@ func main() {
 			duration: *duration,
 			batch:    *batch,
 			benchOut: *benchOut,
+			seed:     *seed,
 		})
 		if err != nil {
 			fatal(err)

@@ -34,6 +34,19 @@ type replayOptions struct {
 	duration time.Duration // load duration
 	batch    int           // entries per POST
 	benchOut string        // write benchjson-format JSON here ("" = skip)
+	seed     int64         // -seed: drives generation AND the user→client layout
+}
+
+// mix64 is the splitmix64 finalizer: FNV's low bits avalanche poorly, and a
+// plain XOR with the seed would leave small seeds touching only the bits the
+// modulo reads. The finalizer spreads every seed bit across the word.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 type clientStats struct {
@@ -62,14 +75,14 @@ func runReplay(log sqlclean.Log, o replayOptions) error {
 
 	// Partition by user: a user's entries always flow through one client,
 	// so per-user order — the engine's ordering contract — is preserved.
+	// The seed is mixed into the assignment so two hosts replaying with the
+	// same -seed drive identical user→client layouts (and different seeds
+	// exercise different ones) — cross-host reproducible load shapes.
 	parts := make([]sqlclean.Log, o.clients)
 	for _, e := range log {
-		h := fnv.New32a()
+		h := fnv.New64a()
 		h.Write([]byte(e.User))
-		c := int(h.Sum32()) % o.clients
-		if c < 0 {
-			c += o.clients
-		}
+		c := int(mix64(h.Sum64()^uint64(o.seed)) % uint64(o.clients))
 		parts[c] = append(parts[c], e)
 	}
 
@@ -173,6 +186,7 @@ func runReplay(log sqlclean.Log, o replayOptions) error {
 		}
 	}
 	logger.Info("replay done",
+		"seed", o.seed,
 		"duration", o.duration.String(), "requests", total.requests,
 		"entries_sent", total.entriesSent, "accepted", total.accepted,
 		"rejected_429", total.rejected429, "rejected_429_pct", rate429,

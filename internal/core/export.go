@@ -38,6 +38,7 @@ type ReportJSON struct {
 	SolvePasses     int `json:"solve_passes"`
 	SWSTemplates    int `json:"sws_templates"`
 	SWSQueries      int `json:"sws_queries"`
+	DistinctUsers   int `json:"distinct_users"`
 
 	// Clustering summary (present only when the run clustered).
 	ClusterCount              int     `json:"cluster_count,omitempty"`
@@ -129,6 +130,7 @@ func Export(res *Result, maxInstances int) ExportDoc {
 		SolvePasses:     r.SolvePasses,
 		SWSTemplates:    r.SWSTemplates,
 		SWSQueries:      r.SWSQueries,
+		DistinctUsers:   r.DistinctUsers,
 		DurationNS:      int64(r.Duration),
 
 		ClusterCount:              r.ClusterCount,

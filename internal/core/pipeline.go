@@ -162,6 +162,10 @@ type Report struct {
 	SWSTemplates         int
 	SWSQueries           int
 	QueriesInAntipattern int
+	// DistinctUsers is the exact count of distinct user identities in the
+	// original log — the ground truth the streaming layer's HLL sketch
+	// approximates.
+	DistinctUsers int
 
 	// ClusterCount and ClusterAvgSize summarize the optional overlap
 	// clustering stage (zero when Config.ClusterThreshold is unset).
@@ -279,6 +283,11 @@ func Run(input logmodel.Log, cfg Config) (*Result, error) {
 	}
 	res.Report.SizeOriginal = len(res.Original)
 	met.Counter("pipeline_entries_total").Add(int64(len(res.Original)))
+	users := make(map[string]struct{})
+	for _, e := range res.Original {
+		users[e.User] = struct{}{}
+	}
+	res.Report.DistinctUsers = len(users)
 
 	// Stage 1+2: parse (classify) and keep SELECTs, then delete duplicates.
 	// One parser is shared by every stage of the run, so a statement text is

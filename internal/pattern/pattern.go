@@ -208,6 +208,13 @@ func mergeTmpl(dst, src map[uint64]*tmplAgg) {
 	}
 }
 
+// HashWhere is the hash the template miner applies to concrete WHERE
+// clauses when counting DistinctWhere. It is part of the streaming
+// contract: the sketch layer's SWS evidence must hash WHERE texts with
+// exactly this function, or its drain-time DisjointRatio would diverge
+// from the batch pipeline's.
+func HashWhere(wc string) uint64 { return hashStr(wc) }
+
 // hashStr is an inline FNV-1a over the string bytes — hash/fnv's
 // interface-based writer escapes to the heap, which showed up as one
 // allocation per log entry in the aggregation loop.

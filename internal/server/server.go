@@ -44,6 +44,8 @@ import (
 	"sqlclean/internal/logmodel"
 	"sqlclean/internal/obs"
 	"sqlclean/internal/parsedlog"
+	"sqlclean/internal/pattern"
+	"sqlclean/internal/sketch"
 	"sqlclean/internal/stream"
 )
 
@@ -204,6 +206,11 @@ type Server struct {
 	mClusterCells   *obs.Counter
 	mClusterAvoided *obs.Counter
 	gDistinctBoxes  *obs.Gauge
+
+	// gHLLOcc mirrors the merged distinct-identity sketch's register
+	// occupancy — refreshed on every /report and /toplist assembly, the
+	// points where the merged cross-shard view is computed anyway.
+	gHLLOcc *obs.Gauge
 }
 
 // New builds the engine, restores durable state when Config.DataDir is set
@@ -251,6 +258,8 @@ func New(cfg Config) (*Server, error) {
 		mClusterCells:   cfg.Metrics.Counter("cluster_cells_probed_total"),
 		mClusterAvoided: cfg.Metrics.Counter("cluster_comparisons_avoided_total"),
 		gDistinctBoxes:  cfg.Metrics.Gauge("cluster_distinct_boxes"),
+
+		gHLLOcc: cfg.Metrics.Gauge("sketch_hll_registers_occupied"),
 	}
 	if !cfg.ClustersDisabled {
 		// Created before durability replay so re-emitted sessions populate
@@ -405,6 +414,7 @@ func (s *Server) Handler() http.Handler {
 	handle("POST /ingest", "ingest", http.HandlerFunc(s.handleIngest))
 	handle("GET /report", "report", http.HandlerFunc(s.handleReport))
 	handle("GET /clusters", "clusters", http.HandlerFunc(s.handleClusters))
+	handle("GET /toplist", "toplist", http.HandlerFunc(s.handleToplist))
 	handle("GET /healthz", "healthz", http.HandlerFunc(s.handleHealthz))
 	handle("GET /statusz", "statusz", http.HandlerFunc(s.handleStatusz))
 	// More specific than the debug mux's /debug/ subtree, so it wins.
@@ -671,8 +681,12 @@ func (s *Server) ingestLines(body io.Reader, format string, tr *obs.ReqTrace) (a
 }
 
 // ReportPayload is the GET /report document: the incremental counterpart of
-// the batch pipeline's export. Fields that need global statistics the stream
-// does not track (SWS classification, distinct-identity counts) stay zero.
+// the batch pipeline's export. The global statistics the exact stream
+// counters cannot afford — SWS classification, distinct-identity counts —
+// come from the sketch layer: distinct_users is the HLL estimate,
+// sws_templates/sws_queries classify the windowed evidence (exact below the
+// configured user cap), and the sketches block summarizes the sketch state
+// itself. All of it is omitted when the daemon runs with sketches disabled.
 type ReportPayload struct {
 	Version       string              `json:"version"`
 	UptimeSeconds float64             `json:"uptime_seconds"`
@@ -682,6 +696,30 @@ type ReportPayload struct {
 	QueueDepth    int                 `json:"queue_depth"`
 	QueueCapacity int                 `json:"queue_capacity"`
 	Templates     []core.TemplateJSON `json:"templates,omitempty"`
+	Sketch        *SketchReport       `json:"sketches,omitempty"`
+}
+
+// SketchReport summarizes the merged cross-shard sketch state.
+type SketchReport struct {
+	// DistinctUsersEstimate is the HLL estimate of distinct identities over
+	// every entry the stream accepted (±~0.8 % at the default precision).
+	DistinctUsersEstimate int64 `json:"distinct_users_estimate"`
+	// HLLPrecision/HLLRegistersOccupied describe the counter's state.
+	HLLPrecision         int `json:"hll_precision"`
+	HLLRegistersOccupied int `json:"hll_registers_occupied"`
+	// TopKCapacity/TopKTracked/TopKEvictions describe the heavy-hitter
+	// tracker; the entries themselves live on GET /toplist.
+	TopKCapacity  int   `json:"topk_capacity"`
+	TopKTracked   int   `json:"topk_tracked"`
+	TopKEvictions int64 `json:"topk_evictions"`
+	// SWSTemplates/SWSQueries classify the windowed evidence with the
+	// default thresholds against the stream's accepted-SELECT total —
+	// the streaming counterpart of the batch report's columns.
+	SWSTemplates int `json:"sws_templates"`
+	SWSQueries   int `json:"sws_queries"`
+	// SWSWindows/SWSWindowFlushes describe the evidence windowing.
+	SWSWindows       int   `json:"sws_windows"`
+	SWSWindowFlushes int64 `json:"sws_window_flushes"`
 }
 
 // Report assembles the current incremental report. Safe to call while
@@ -711,6 +749,33 @@ func (s *Server) Report(topTemplates int) ReportPayload {
 	if len(templates) > 0 {
 		p.Report.MaxTemplateFreq = templates[0].Frequency
 	}
+	var sws map[uint64]bool
+	var evidence map[uint64]sketch.Evidence
+	if sk := s.eng.Sketches(); sk != nil {
+		sws = sk.SWS.Classify(st.Selects, pattern.DefaultSWSOptions())
+		evidence = sk.SWS.MergedEvidence()
+		sr := &SketchReport{
+			DistinctUsersEstimate: sk.HLL.Count(),
+			HLLPrecision:          sk.HLL.Precision(),
+			HLLRegistersOccupied:  sk.HLL.Occupied(),
+			TopKCapacity:          sk.Top.Capacity(),
+			TopKTracked:           sk.Top.Len(),
+			TopKEvictions:         sk.Top.Evictions(),
+			SWSTemplates:          len(sws),
+			SWSWindows:            sk.SWS.Windows(),
+			SWSWindowFlushes:      sk.SWS.Flushes(),
+		}
+		for fp, ev := range evidence {
+			if sws[fp] {
+				sr.SWSQueries += ev.Freq
+			}
+		}
+		p.Sketch = sr
+		p.Report.DistinctUsers = int(sr.DistinctUsersEstimate)
+		p.Report.SWSTemplates = sr.SWSTemplates
+		p.Report.SWSQueries = sr.SWSQueries
+		s.gHLLOcc.Set(int64(sr.HLLRegistersOccupied))
+	}
 	for kind, n := range st.Antipatterns {
 		p.Report.Antipatterns = append(p.Report.Antipatterns, core.AntipatternSummaryJSON{
 			Kind: string(kind), Instances: n,
@@ -724,12 +789,17 @@ func (s *Server) Report(topTemplates int) ReportPayload {
 		if i >= topTemplates {
 			break
 		}
-		p.Templates = append(p.Templates, core.TemplateJSON{
+		tj := core.TemplateJSON{
 			Fingerprint:    t.Fingerprint,
 			Skeleton:       t.Skeleton,
 			Frequency:      t.Frequency,
 			UserPopularity: t.UserPopularity,
-		})
+			SWS:            sws[t.Fingerprint],
+		}
+		if ev, ok := evidence[t.Fingerprint]; ok && ev.Freq > 0 {
+			tj.DisjointRatio = float64(len(ev.WCs)) / float64(ev.Freq)
+		}
+		p.Templates = append(p.Templates, tj)
 	}
 	return p
 }
@@ -838,7 +908,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

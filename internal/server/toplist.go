@@ -1,0 +1,70 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"sqlclean/internal/sketch"
+)
+
+// GET /toplist serves the heavy-hitter summary: the k most frequent query
+// templates by the SpaceSaving sketch, each with its count and overestimation
+// error, plus the distinct-identity estimate — the daemon's answer to "what
+// dominates this log right now" without a full template scan.
+
+// ToplistPayload is the GET /toplist document.
+type ToplistPayload struct {
+	// K echoes the request's ?k= (0 = all tracked entries).
+	K int `json:"k"`
+	// Capacity and Tracked describe the sketch: Tracked ≤ Capacity entries
+	// are live; any template with frequency > observed/capacity is among
+	// them (the SpaceSaving guarantee).
+	Capacity int `json:"capacity"`
+	Tracked  int `json:"tracked_templates"`
+	// ObservedQueries is the number of accepted SELECTs the sketch has seen;
+	// Evictions counts slot replacements (0 means every count is exact).
+	ObservedQueries int64 `json:"observed_queries"`
+	Evictions       int64 `json:"evictions"`
+	// DistinctUsersEstimate is the merged HLL's identity estimate.
+	DistinctUsersEstimate int64 `json:"distinct_users_estimate"`
+	// Entries are the heavy hitters, count-descending. For each, the true
+	// frequency lies in [count−err, count].
+	Entries []sketch.HeavyHitter `json:"entries"`
+}
+
+// Toplist assembles the heavy-hitter payload from the merged cross-shard
+// sketches, or nil when the daemon runs with sketches disabled.
+func (s *Server) Toplist(k int) *ToplistPayload {
+	sk := s.eng.Sketches()
+	if sk == nil {
+		return nil
+	}
+	s.gHLLOcc.Set(int64(sk.HLL.Occupied()))
+	return &ToplistPayload{
+		K:                     k,
+		Capacity:              sk.Top.Capacity(),
+		Tracked:               sk.Top.Len(),
+		ObservedQueries:       sk.Top.Observed(),
+		Evictions:             sk.Top.Evictions(),
+		DistinctUsersEstimate: sk.HLL.Count(),
+		Entries:               sk.Top.Top(k),
+	}
+}
+
+func (s *Server) handleToplist(w http.ResponseWriter, r *http.Request) {
+	k := 0
+	if v := r.URL.Query().Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "k must be a non-negative integer"})
+			return
+		}
+		k = n
+	}
+	p := s.Toplist(k)
+	if p == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "sketches disabled"})
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}

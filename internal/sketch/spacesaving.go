@@ -1,0 +1,225 @@
+package sketch
+
+import "sort"
+
+// DefaultTopKCapacity is the SpaceSaving slot count when the config leaves
+// it zero. The toplist surface serves "top k" for k well below this, and the
+// classic guarantee says any template with frequency above observed/capacity
+// is guaranteed to be tracked.
+const DefaultTopKCapacity = 128
+
+// HeavyHitter is one tracked template: Count is an upper bound on the true
+// occurrence count and Err bounds the overestimation, so the true count lies
+// in [Count-Err, Count].
+type HeavyHitter struct {
+	Fingerprint uint64 `json:"fingerprint"`
+	Skeleton    string `json:"skeleton"`
+	Count       int64  `json:"count"`
+	Err         int64  `json:"err"`
+}
+
+type ssItem struct {
+	skeleton string
+	count    int64
+	err      int64
+}
+
+// SpaceSaving is a bounded top-k heavy-hitter tracker over template
+// fingerprints (Metwally et al.'s stream-summary, map-backed). When a new
+// template arrives at capacity it replaces the current minimum, inheriting
+// its count as both starting count and error bound — the invariant that
+// keeps every count an overestimate by at most Err.
+type SpaceSaving struct {
+	capacity  int
+	items     map[uint64]*ssItem
+	evictions int64
+	observed  int64
+}
+
+// NewSpaceSaving returns a tracker with the given slot capacity (0 selects
+// DefaultTopKCapacity).
+func NewSpaceSaving(capacity int) *SpaceSaving {
+	if capacity <= 0 {
+		capacity = DefaultTopKCapacity
+	}
+	return &SpaceSaving{capacity: capacity, items: make(map[uint64]*ssItem, capacity)}
+}
+
+// Capacity returns the slot count.
+func (s *SpaceSaving) Capacity() int { return s.capacity }
+
+// Len returns the number of templates currently tracked.
+func (s *SpaceSaving) Len() int { return len(s.items) }
+
+// Evictions counts min-replacements — the sketch_topk_evictions_total
+// signal. Zero means every distinct template fit and all counts are exact.
+func (s *SpaceSaving) Evictions() int64 { return s.evictions }
+
+// Observed counts observations offered, tracked or not.
+func (s *SpaceSaving) Observed() int64 { return s.observed }
+
+// Observe counts one occurrence of a template, reporting whether a tracked
+// minimum was evicted to admit it.
+func (s *SpaceSaving) Observe(fp uint64, skeleton string) (evicted bool) {
+	s.observed++
+	if it, ok := s.items[fp]; ok {
+		it.count++
+		return false
+	}
+	if len(s.items) < s.capacity {
+		s.items[fp] = &ssItem{skeleton: skeleton, count: 1}
+		return false
+	}
+	// Replace the minimum-count victim; ties break on the smallest
+	// fingerprint so eviction order — and therefore state — is deterministic
+	// for any map iteration order.
+	var victimFP uint64
+	var victim *ssItem
+	for ifp, it := range s.items {
+		if victim == nil || it.count < victim.count || (it.count == victim.count && ifp < victimFP) {
+			victimFP, victim = ifp, it
+		}
+	}
+	min := victim.count
+	delete(s.items, victimFP)
+	s.items[fp] = &ssItem{skeleton: skeleton, count: min + 1, err: min}
+	s.evictions++
+	return true
+}
+
+// Top returns the k highest-count entries (k ≤ 0 or k > Len returns all),
+// sorted by descending count with fingerprint-ascending ties.
+func (s *SpaceSaving) Top(k int) []HeavyHitter {
+	out := make([]HeavyHitter, 0, len(s.items))
+	for fp, it := range s.items {
+		out = append(out, HeavyHitter{Fingerprint: fp, Skeleton: it.skeleton, Count: it.count, Err: it.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Merge folds another tracker into s following the mergeable-summaries
+// construction (Agarwal et al.): a template absent from one side gets that
+// side's saturation floor — its minimum count if it was full, zero if not
+// (a non-full tracker has seen every one of its distinct templates) — added
+// to both count and error, preserving the [Count-Err, Count] containment of
+// the true combined count. The union is then cut back to capacity keeping
+// the largest counts (fingerprint-ascending ties), which is deterministic
+// for any shard visit order.
+func (s *SpaceSaving) Merge(o *SpaceSaving) {
+	if o == nil {
+		return
+	}
+	sFloor := s.saturationFloor()
+	oFloor := o.saturationFloor()
+	merged := make(map[uint64]*ssItem, len(s.items)+len(o.items))
+	for fp, it := range s.items {
+		m := &ssItem{skeleton: it.skeleton, count: it.count, err: it.err}
+		if ot, ok := o.items[fp]; ok {
+			m.count += ot.count
+			m.err += ot.err
+		} else {
+			m.count += oFloor
+			m.err += oFloor
+		}
+		merged[fp] = m
+	}
+	for fp, ot := range o.items {
+		if _, ok := s.items[fp]; ok {
+			continue
+		}
+		merged[fp] = &ssItem{skeleton: ot.skeleton, count: ot.count + sFloor, err: ot.err + sFloor}
+	}
+	if len(merged) > s.capacity {
+		fps := make([]uint64, 0, len(merged))
+		for fp := range merged {
+			fps = append(fps, fp)
+		}
+		sort.Slice(fps, func(i, j int) bool {
+			a, b := merged[fps[i]], merged[fps[j]]
+			if a.count != b.count {
+				return a.count > b.count
+			}
+			return fps[i] < fps[j]
+		})
+		for _, fp := range fps[s.capacity:] {
+			delete(merged, fp)
+		}
+	}
+	s.items = merged
+	s.evictions += o.evictions
+	s.observed += o.observed
+}
+
+// saturationFloor is the upper bound on the count of any template NOT in the
+// tracker: the minimum tracked count once full, zero before.
+func (s *SpaceSaving) saturationFloor() int64 {
+	if len(s.items) < s.capacity {
+		return 0
+	}
+	var min int64 = -1
+	for _, it := range s.items {
+		if min < 0 || it.count < min {
+			min = it.count
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// Clone returns a deep copy.
+func (s *SpaceSaving) Clone() *SpaceSaving {
+	c := &SpaceSaving{
+		capacity:  s.capacity,
+		items:     make(map[uint64]*ssItem, len(s.items)),
+		evictions: s.evictions,
+		observed:  s.observed,
+	}
+	for fp, it := range s.items {
+		cp := *it
+		c.items[fp] = &cp
+	}
+	return c
+}
+
+// TopSnapshot serializes the tracker; entries are fingerprint-sorted so the
+// encoding is deterministic.
+type TopSnapshot struct {
+	Capacity  int           `json:"capacity"`
+	Evictions int64         `json:"evictions"`
+	Observed  int64         `json:"observed"`
+	Entries   []HeavyHitter `json:"entries,omitempty"`
+}
+
+// Snapshot serializes the tracker.
+func (s *SpaceSaving) Snapshot() TopSnapshot {
+	snap := TopSnapshot{Capacity: s.capacity, Evictions: s.evictions, Observed: s.observed}
+	for fp, it := range s.items {
+		snap.Entries = append(snap.Entries, HeavyHitter{
+			Fingerprint: fp, Skeleton: it.skeleton, Count: it.count, Err: it.err,
+		})
+	}
+	sort.Slice(snap.Entries, func(i, j int) bool { return snap.Entries[i].Fingerprint < snap.Entries[j].Fingerprint })
+	return snap
+}
+
+// restoreSpaceSaving rebuilds a tracker from its snapshot.
+func restoreSpaceSaving(snap TopSnapshot) (*SpaceSaving, error) {
+	s := NewSpaceSaving(snap.Capacity)
+	s.evictions = snap.Evictions
+	s.observed = snap.Observed
+	for _, e := range snap.Entries {
+		s.items[e.Fingerprint] = &ssItem{skeleton: e.Skeleton, count: e.Count, err: e.Err}
+	}
+	return s, nil
+}

@@ -1,0 +1,191 @@
+package sketch
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// zipfFeed deterministically emits template fp i with weight ~ 1/(i+1),
+// giving a few heavy hitters over a long tail without math/rand.
+func zipfFeed(n, templates int, f func(fp uint64)) {
+	for i := 0; i < n; i++ {
+		// A cheap deterministic spread: pick the smallest j whose cumulative
+		// harmonic share covers the rotating index.
+		fp := uint64(i % templates)
+		if i%3 != 0 {
+			fp = uint64(i % (templates / 8)) // 1/8 of templates get 2/3 of traffic
+		}
+		f(fp)
+	}
+}
+
+// TestSpaceSavingExactUnderCapacity: while distinct templates fit, counts are
+// exact with zero error.
+func TestSpaceSavingExactUnderCapacity(t *testing.T) {
+	s := NewSpaceSaving(64)
+	for i := 0; i < 1000; i++ {
+		s.Observe(uint64(i%10), fmt.Sprintf("T%d", i%10))
+	}
+	if s.Evictions() != 0 {
+		t.Fatalf("evictions = %d, want 0 under capacity", s.Evictions())
+	}
+	for _, hh := range s.Top(0) {
+		if hh.Count != 100 || hh.Err != 0 {
+			t.Fatalf("template %d: count=%d err=%d, want exact 100/0", hh.Fingerprint, hh.Count, hh.Err)
+		}
+	}
+	if s.Observed() != 1000 {
+		t.Fatalf("observed = %d, want 1000", s.Observed())
+	}
+}
+
+// TestSpaceSavingOverestimateGuarantee: under eviction pressure every tracked
+// count must still bracket the true count: trueCount ≤ Count ≤ trueCount+Err,
+// and every template with true frequency > observed/capacity is tracked.
+func TestSpaceSavingOverestimateGuarantee(t *testing.T) {
+	const capacity, n, templates = 32, 50_000, 256
+	s := NewSpaceSaving(capacity)
+	truth := map[uint64]int64{}
+	zipfFeed(n, templates, func(fp uint64) {
+		truth[fp]++
+		s.Observe(fp, "skel")
+	})
+	if s.Evictions() == 0 {
+		t.Fatal("feed did not pressure the tracker; test is vacuous")
+	}
+	top := s.Top(0)
+	if len(top) != capacity {
+		t.Fatalf("tracking %d entries, want full capacity %d", len(top), capacity)
+	}
+	tracked := map[uint64]bool{}
+	for _, hh := range top {
+		tracked[hh.Fingerprint] = true
+		tc := truth[hh.Fingerprint]
+		if hh.Count < tc {
+			t.Errorf("fp %d: count %d underestimates true %d", hh.Fingerprint, hh.Count, tc)
+		}
+		if hh.Count-hh.Err > tc {
+			t.Errorf("fp %d: guaranteed floor %d exceeds true %d", hh.Fingerprint, hh.Count-hh.Err, tc)
+		}
+	}
+	threshold := int64(n / capacity)
+	for fp, tc := range truth {
+		if tc > threshold && !tracked[fp] {
+			t.Errorf("fp %d with true count %d > %d missing from the summary", fp, tc, threshold)
+		}
+	}
+}
+
+// TestSpaceSavingMergeDeterministicAndSound: merging shard partitions in a
+// fixed order must be reproducible, and EVERY merge order must preserve the
+// bracket guarantee against the combined truth and keep every heavy hitter.
+// (Pairwise mergeable-summary merges truncate between steps, so different
+// orders may legitimately differ in the tail — the sharded engine always
+// merges in shard-index order.)
+func TestSpaceSavingMergeDeterministicAndSound(t *testing.T) {
+	const capacity, n, templates = 24, 30_000, 200
+	parts := []*SpaceSaving{NewSpaceSaving(capacity), NewSpaceSaving(capacity), NewSpaceSaving(capacity)}
+	truth := map[uint64]int64{}
+	i := 0
+	zipfFeed(n, templates, func(fp uint64) {
+		truth[fp]++
+		parts[i%len(parts)].Observe(fp, "skel")
+		i++
+	})
+
+	mergeOrder := func(order []int) []HeavyHitter {
+		m := parts[order[0]].Clone()
+		for _, j := range order[1:] {
+			m.Merge(parts[j].Clone())
+		}
+		return m.Top(0)
+	}
+	if !reflect.DeepEqual(mergeOrder([]int{0, 1, 2}), mergeOrder([]int{0, 1, 2})) {
+		t.Fatal("repeating the same merge order gave different results")
+	}
+	threshold := int64(n / capacity)
+	for _, order := range [][]int{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}} {
+		top := mergeOrder(order)
+		tracked := map[uint64]bool{}
+		for _, hh := range top {
+			tracked[hh.Fingerprint] = true
+			tc := truth[hh.Fingerprint]
+			if hh.Count < tc {
+				t.Errorf("order %v fp %d: count %d underestimates true %d", order, hh.Fingerprint, hh.Count, tc)
+			}
+			if hh.Count-hh.Err > tc {
+				t.Errorf("order %v fp %d: floor %d exceeds true %d", order, hh.Fingerprint, hh.Count-hh.Err, tc)
+			}
+		}
+		// Merged summaries keep the (2×) saturation slack of a two-step merge.
+		for fp, tc := range truth {
+			if tc > 2*threshold && !tracked[fp] {
+				t.Errorf("order %v: fp %d with true count %d > %d missing after merge", order, fp, tc, 2*threshold)
+			}
+		}
+	}
+}
+
+// TestSpaceSavingMergeNotFull: a non-full side contributes no saturation
+// floor — merging two exact trackers stays exact.
+func TestSpaceSavingMergeNotFull(t *testing.T) {
+	a, b := NewSpaceSaving(64), NewSpaceSaving(64)
+	for i := 0; i < 300; i++ {
+		a.Observe(uint64(i%8), "s")
+		b.Observe(uint64(i%12), "s")
+	}
+	a.Merge(b)
+	for _, hh := range a.Top(0) {
+		if hh.Err != 0 {
+			t.Fatalf("fp %d gained error %d from a non-saturated merge", hh.Fingerprint, hh.Err)
+		}
+	}
+}
+
+// TestSpaceSavingTopOrderAndK pins the response ordering contract.
+func TestSpaceSavingTopOrderAndK(t *testing.T) {
+	s := NewSpaceSaving(16)
+	for fp, c := range map[uint64]int{5: 3, 9: 7, 2: 7, 11: 1} {
+		for i := 0; i < c; i++ {
+			s.Observe(fp, "s")
+		}
+	}
+	top := s.Top(3)
+	if len(top) != 3 {
+		t.Fatalf("Top(3) returned %d", len(top))
+	}
+	// Count desc, fingerprint asc on ties: 2(7), 9(7), 5(3).
+	want := []uint64{2, 9, 5}
+	for i, fp := range want {
+		if top[i].Fingerprint != fp {
+			t.Fatalf("Top order = %+v, want fingerprints %v", top, want)
+		}
+	}
+}
+
+// TestSpaceSavingSnapshotRoundTrip: snapshot → JSON → restore → re-snapshot
+// is the identity.
+func TestSpaceSavingSnapshotRoundTrip(t *testing.T) {
+	s := NewSpaceSaving(8)
+	zipfFeed(5_000, 64, func(fp uint64) { s.Observe(fp, fmt.Sprintf("T%d", fp)) })
+	blob, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap TopSnapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := restoreSpaceSaving(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Snapshot(), s.Snapshot()) {
+		t.Fatal("re-snapshot differs")
+	}
+	if got.Evictions() != s.Evictions() || got.Observed() != s.Observed() {
+		t.Fatal("counters lost in round trip")
+	}
+}

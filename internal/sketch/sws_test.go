@@ -1,0 +1,208 @@
+package sketch
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"sqlclean/internal/pattern"
+)
+
+// TestEvidenceUserCapExactness is the core cap argument: for any threshold
+// below the cap, classification by |Users| equals classification by the true
+// popularity, under any split/merge order.
+func TestEvidenceUserCapExactness(t *testing.T) {
+	const userCap = 8
+	users := make([]string, 40)
+	for i := range users {
+		users[i] = fmt.Sprintf("user-%02d", (i*17)%40) // shuffled-ish, with repeats
+	}
+	for truePop := 1; truePop <= 20; truePop++ {
+		// One evidence fed directly, and two fed disjoint halves then merged.
+		whole := newEvidence()
+		a, b := newEvidence(), newEvidence()
+		seen := map[string]bool{}
+		i := 0
+		for len(seen) < truePop {
+			u := fmt.Sprintf("user-%02d", i)
+			i++
+			if seen[u] {
+				continue
+			}
+			seen[u] = true
+			whole.observe(u, 1, userCap)
+			if len(seen)%2 == 0 {
+				a.observe(u, 1, userCap)
+			} else {
+				b.observe(u, 1, userCap)
+			}
+		}
+		a.merge(b, userCap)
+		wantLen := truePop
+		if wantLen > userCap {
+			wantLen = userCap
+		}
+		if len(whole.Users) != wantLen || len(a.Users) != wantLen {
+			t.Fatalf("pop=%d: |whole|=%d |merged|=%d, want %d", truePop, len(whole.Users), len(a.Users), wantLen)
+		}
+		if !reflect.DeepEqual(whole.Users, a.Users) {
+			t.Fatalf("pop=%d: merged kept %v, whole kept %v", truePop, a.Users, whole.Users)
+		}
+		for maxPop := 1; maxPop < userCap; maxPop++ {
+			if (len(a.Users) <= maxPop) != (truePop <= maxPop) {
+				t.Fatalf("pop=%d maxPop=%d: capped comparison diverged from truth", truePop, maxPop)
+			}
+		}
+	}
+}
+
+// TestSWSWindowFlushInvariance: the classification must not depend on how
+// evidence was windowed — tight windows with many flushes equal one window.
+func TestSWSWindowFlushInvariance(t *testing.T) {
+	base := time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC).UnixNano()
+	hour := int64(time.Hour)
+
+	feed := func(a *SWSAccumulator) {
+		for i := 0; i < 2000; i++ {
+			ts := base + int64(i)*hour/4 // spans ~500 hours
+			fp := uint64(i % 7)
+			user := fmt.Sprintf("u%d", i%(int(fp)+1)) // template fp has fp+1 users
+			a.Observe(ts, fp, user, uint64(i))        // all-distinct WHERE hashes
+		}
+		// A frequent low-popularity, low-disjointness template.
+		for i := 0; i < 500; i++ {
+			a.Observe(base+int64(i)*hour, 99, "bot", 42)
+		}
+	}
+
+	wide := NewSWSAccumulator(1000000*time.Hour, 4, 0) // everything in one window
+	tight := NewSWSAccumulator(time.Hour, 2, 0)        // constant flushing
+	feed(wide)
+	feed(tight)
+	if tight.Flushes() == 0 {
+		t.Fatal("tight accumulator never flushed; invariance test is vacuous")
+	}
+	if wide.Flushes() != 0 {
+		t.Fatalf("wide accumulator flushed %d times", wide.Flushes())
+	}
+
+	total := 2500
+	for _, opt := range []pattern.SWSOptions{
+		pattern.DefaultSWSOptions(),
+		{FrequencyPct: 0.1, MaxUserPopularity: 4, MinDisjointRatio: 0.9},
+		{FrequencyPct: 10, MaxUserPopularity: 1},
+	} {
+		a := wide.Classify(total, opt)
+		b := tight.Classify(total, opt)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("opt %+v: windowing changed the classification: %v vs %v", opt, a, b)
+		}
+	}
+	ev := tight.MergedEvidence()
+	if ev[99].Freq != 500 || len(ev[99].WCs) != 1 || len(ev[99].Users) != 1 {
+		t.Errorf("template 99 evidence = %+v, want freq 500, 1 user, 1 distinct WHERE", ev[99])
+	}
+}
+
+// TestSWSMergeEqualsSequential: shard-split evidence merged in any order
+// equals one accumulator that saw the whole stream.
+func TestSWSMergeEqualsSequential(t *testing.T) {
+	base := time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC).UnixNano()
+	whole := NewSWSAccumulator(time.Hour, 6, 0)
+	parts := []*SWSAccumulator{
+		NewSWSAccumulator(time.Hour, 6, 0),
+		NewSWSAccumulator(time.Hour, 6, 0),
+		NewSWSAccumulator(time.Hour, 6, 0),
+	}
+	for i := 0; i < 3000; i++ {
+		ts := base + int64(i)*int64(time.Minute)
+		fp := uint64(i % 11)
+		user := fmt.Sprintf("user-%d", i%5)
+		wc := uint64(i % 97)
+		whole.Observe(ts, fp, user, wc)
+		// Users partition across shards like the sharded engine routes them.
+		parts[(i%5)%3].Observe(ts, fp, user, wc)
+	}
+	merged := parts[2].Clone()
+	merged.Merge(parts[0])
+	merged.Merge(parts[1])
+	if !reflect.DeepEqual(merged.MergedEvidence(), whole.MergedEvidence()) {
+		t.Fatal("merged shard evidence differs from the sequential accumulator")
+	}
+	for _, total := range []int{3000, 100000} {
+		opt := pattern.SWSOptions{FrequencyPct: 0.1, MaxUserPopularity: 8, MinDisjointRatio: 0.1}
+		if !reflect.DeepEqual(merged.Classify(total, opt), whole.Classify(total, opt)) {
+			t.Fatalf("classification diverged after merge (total=%d)", total)
+		}
+	}
+}
+
+// TestSWSSnapshotRoundTrip: snapshot → JSON → restore → re-snapshot is the
+// identity, including window placement and flush counters.
+func TestSWSSnapshotRoundTrip(t *testing.T) {
+	base := time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC).UnixNano()
+	a := NewSWSAccumulator(time.Hour, 3, 5)
+	for i := 0; i < 1000; i++ {
+		a.Observe(base+int64(i)*int64(7*time.Minute), uint64(i%13), fmt.Sprintf("u%d", i%9), uint64(i%31))
+	}
+	if a.Flushes() == 0 || a.Windows() != 3 {
+		t.Fatalf("windows=%d flushes=%d; want a flushed, full accumulator", a.Windows(), a.Flushes())
+	}
+	blob, err := json.Marshal(a.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap SWSSnapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := restoreSWS(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Snapshot(), a.Snapshot()) {
+		t.Fatal("re-snapshot differs")
+	}
+	if !reflect.DeepEqual(got.MergedEvidence(), a.MergedEvidence()) {
+		t.Fatal("restored evidence differs")
+	}
+}
+
+// TestSketchesBundleRoundTrip covers the versioned bundle: snapshot, restore,
+// version guard.
+func TestSketchesBundleRoundTrip(t *testing.T) {
+	sk := New(Config{HLLPrecision: 10, TopK: 16, SWSWindow: time.Hour})
+	base := time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC).UnixNano()
+	for i := 0; i < 2000; i++ {
+		u := fmt.Sprintf("user-%d", i%300)
+		sk.HLL.AddString(u)
+		sk.Top.Observe(uint64(i%40), "skel")
+		sk.SWS.Observe(base+int64(i)*int64(time.Minute), uint64(i%40), u, uint64(i))
+	}
+	blob, err := json.Marshal(sk.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Restore(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Snapshot(), sk.Snapshot()) {
+		t.Fatal("bundle re-snapshot differs")
+	}
+	if _, err := Restore(&Snapshot{Version: SnapshotVersion + 1}); err == nil {
+		t.Error("Restore accepted a future snapshot version")
+	}
+	if _, err := Restore(&Snapshot{Version: 0}); err == nil {
+		t.Error("Restore accepted version 0")
+	}
+	if New(Config{Disabled: true}) != nil {
+		t.Error("Disabled config must yield a nil sketch set")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"sqlclean/internal/parallel"
 	"sqlclean/internal/parsedlog"
 	"sqlclean/internal/pattern"
+	"sqlclean/internal/sketch"
 )
 
 // ShardedConfig configures a sharded streaming engine.
@@ -366,6 +367,41 @@ func (s *Sharded) Templates() []pattern.TemplateStats {
 		return out[i].Skeleton < out[j].Skeleton
 	})
 	return out
+}
+
+// Sketches returns the merged cross-shard sketch view as a deep clone (nil
+// when the layer is disabled). HLL registers union exactly; SpaceSaving merges
+// in shard-index order (deterministic, and sound: merged counts still bracket
+// the truth); SWS evidence unions by window. The clone is a consistent-enough
+// global read: each shard is locked while copied, like Stats.
+func (s *Sharded) Sketches() *sketch.Sketches {
+	var merged *sketch.Sketches
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sk := sh.p.Sketches()
+		if sk != nil {
+			if merged == nil {
+				merged = sk.Clone()
+			} else {
+				// Same config on every shard, so the HLL precisions agree and
+				// Merge cannot fail.
+				_ = merged.Merge(sk)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return merged
+}
+
+// ClassifySWS drains the merged windowed SWS evidence into a classification
+// using the engine-wide accepted-SELECT count — the sharded counterpart of
+// Processor.ClassifySWS. Nil when sketches are disabled.
+func (s *Sharded) ClassifySWS(opt pattern.SWSOptions) map[uint64]bool {
+	sk := s.Sketches()
+	if sk == nil {
+		return nil
+	}
+	return sk.SWS.Classify(s.Stats().Selects, opt)
 }
 
 // RunSharded streams a whole in-memory log through a fresh sharded engine,

@@ -20,6 +20,7 @@ import (
 
 	"sqlclean/internal/antipattern"
 	"sqlclean/internal/logmodel"
+	"sqlclean/internal/sketch"
 )
 
 // EntrySnapshot is one raw log entry in serialized form (times as Unix
@@ -79,6 +80,10 @@ type ProcessorSnapshot struct {
 	Open           []SessionSnapshot  `json:"open,omitempty"`
 	Dedup          []DedupSnapshot    `json:"dedup,omitempty"`
 	Templates      []TemplateSnapshot `json:"templates,omitempty"`
+	// Sketches carries the approximate-analytics state (its own versioned
+	// encoding). Absent when the layer is disabled — and in snapshots written
+	// before the layer existed, which restore to fresh sketches.
+	Sketches *sketch.Snapshot `json:"sketches,omitempty"`
 }
 
 // Snapshot serializes the processor's state. The dedup window is pruned to
@@ -124,6 +129,9 @@ func (p *Processor) Snapshot() ProcessorSnapshot {
 		})
 	}
 	sort.Slice(s.Templates, func(i, j int) bool { return s.Templates[i].Fingerprint < s.Templates[j].Fingerprint })
+	if p.sk != nil {
+		s.Sketches = p.sk.Snapshot()
+	}
 	return s
 }
 
@@ -166,6 +174,20 @@ func (p *Processor) Restore(s ProcessorSnapshot) error {
 			a.users[u] = struct{}{}
 		}
 		p.templateAgg[t.Fingerprint] = a
+	}
+	switch {
+	case p.sk == nil:
+		// Sketches disabled in this processor's config: ignore any snapshot
+		// state, the layer stays off.
+	case s.Sketches != nil:
+		sk, err := sketch.Restore(s.Sketches)
+		if err != nil {
+			return err
+		}
+		p.sk = sk
+	default:
+		// Pre-sketch snapshot: start the layer fresh from here on.
+		p.sk = sketch.New(p.cfg.Sketches)
 	}
 	p.met.open.Set(int64(len(p.open)))
 	return nil

@@ -25,6 +25,7 @@ import (
 	"sqlclean/internal/rewrite"
 	"sqlclean/internal/schema"
 	"sqlclean/internal/session"
+	"sqlclean/internal/sketch"
 	"sqlclean/internal/sqlast"
 )
 
@@ -58,6 +59,10 @@ type Config struct {
 	// stream_sessions_emitted_total, and a session-length histogram. Nil
 	// keeps the zero-overhead path.
 	Metrics *obs.Registry
+	// Sketches sizes the approximate-analytics layer (distinct-identity HLL,
+	// SpaceSaving top-k, windowed SWS evidence). The zero value enables it
+	// with package defaults; set Sketches.Disabled to opt out.
+	Sketches sketch.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +135,9 @@ type Processor struct {
 	// templateCounts accumulate global per-template statistics.
 	templateAgg map[uint64]*templateAgg
 
+	// sk holds the approximate-analytics sketches; nil when disabled.
+	sk *sketch.Sketches
+
 	stats Stats
 	met   streamMetrics
 }
@@ -146,6 +154,8 @@ type streamMetrics struct {
 	sessionLen *obs.Histogram
 	solvedAway *obs.Counter
 	instances  *obs.Counter
+	topkEvict  *obs.Counter
+	swsFlush   *obs.Counter
 }
 
 type dupKey struct{ user, stmt string }
@@ -187,6 +197,7 @@ func New(cfg Config) *Processor {
 		open:        map[string]*openSession{},
 		lastSeen:    map[dupKey]time.Time{},
 		templateAgg: map[uint64]*templateAgg{},
+		sk:          sketch.New(cfg.Sketches),
 	}
 	if m := cfg.Metrics; m != nil {
 		p.parser.Instrument(m)
@@ -200,6 +211,8 @@ func New(cfg Config) *Processor {
 			sessionLen: m.Histogram("stream_session_entries", obs.SizeBuckets),
 			solvedAway: m.Counter("stream_solved_queries_total"),
 			instances:  m.Counter("stream_instances_total"),
+			topkEvict:  m.Counter("sketch_topk_evictions_total"),
+			swsFlush:   m.Counter("sketch_sws_window_flushes_total"),
 		}
 	}
 	return p
@@ -224,6 +237,12 @@ func (p *Processor) Add(e logmodel.Entry) (logmodel.Log, error) {
 	}
 	if e.Time.After(p.watermark) {
 		p.watermark = e.Time
+	}
+	if p.sk != nil {
+		// Distinct identities count every in-order entry's user, SELECT or
+		// not — the sketch answers "how many identities touched the service",
+		// not "how many queried templates".
+		p.sk.HLL.AddString(e.User)
 	}
 
 	var out logmodel.Log
@@ -340,6 +359,18 @@ func sortByTime(l logmodel.Log) {
 
 // closeSession runs detection and solving over one finished session.
 func (p *Processor) closeSession(os *openSession) logmodel.Log {
+	if p.sk != nil {
+		// Every accepted SELECT lives in exactly one session and every close
+		// path funnels through here, so the SWS accumulator sees each entry
+		// exactly once. Evidence is stamped with the session's close time so
+		// the whole session lands in one event-time window.
+		ts := os.last.UnixNano()
+		for _, pe := range os.entries {
+			if n := p.sk.SWS.Observe(ts, pe.Info.Fingerprint, pe.User, pattern.HashWhere(pe.Info.WC)); n > 0 {
+				p.met.swsFlush.Add(int64(n))
+			}
+		}
+	}
 	p.stats.SessionsEmitted++
 	p.met.emitted.Inc()
 	p.met.sessionLen.Observe(int64(len(os.entries)))
@@ -375,6 +406,14 @@ func (p *Processor) recordTemplate(pe parsedlog.Entry) {
 	}
 	a.count++
 	a.users[pe.User] = struct{}{}
+	if p.sk != nil {
+		// Same admission rule as templateAgg: accepted, non-duplicate
+		// SELECTs. The SpaceSaving counts therefore approximate exactly the
+		// Frequency column of Templates().
+		if p.sk.Top.Observe(fp, a.skeleton) {
+			p.met.topkEvict.Inc()
+		}
+	}
 }
 
 // Templates returns the accumulated per-template statistics, most frequent
@@ -397,6 +436,22 @@ func (p *Processor) Templates() []pattern.TemplateStats {
 		return out[i].Skeleton < out[j].Skeleton
 	})
 	return out
+}
+
+// Sketches exposes the processor's approximate-analytics state (nil when the
+// layer is disabled). Callers share the Add caller's synchronization.
+func (p *Processor) Sketches() *sketch.Sketches { return p.sk }
+
+// ClassifySWS drains the windowed SWS evidence into a classification, using
+// the stream's accepted-SELECT count as the batch pipeline's total. After
+// Close it matches internal/core's batch SWS decision bit for bit (the
+// evidence is exact: frequency and WHERE hashes are uncapped, and user sets
+// are exact below the configured cap). Nil when sketches are disabled.
+func (p *Processor) ClassifySWS(opt pattern.SWSOptions) map[uint64]bool {
+	if p.sk == nil {
+		return nil
+	}
+	return p.sk.SWS.Classify(p.stats.Selects, opt)
 }
 
 // Run streams a whole log through a fresh processor and returns the cleaned

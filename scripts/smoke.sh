@@ -193,6 +193,22 @@ grep -q '"cluster_count": *[1-9]' "$TMP/clusters.json" || {
   cat "$TMP/clusters.json" >&2; exit 1
 }
 
+# Sketches: after the replay load, the heavy-hitter endpoint must report
+# tracked templates with counts, and a live distinct-identity estimate.
+curl -sf "http://$ADDR/toplist?k=5" >"$TMP/toplist.json"
+grep -q '"tracked_templates": *[1-9]' "$TMP/toplist.json" || {
+  echo "smoke: /toplist tracked no templates:" >&2
+  cat "$TMP/toplist.json" >&2; exit 1
+}
+grep -q '"skeleton": *"' "$TMP/toplist.json" || {
+  echo "smoke: /toplist entries carry no skeletons:" >&2
+  cat "$TMP/toplist.json" >&2; exit 1
+}
+grep -q '"distinct_users_estimate": *[1-9]' "$TMP/toplist.json" || {
+  echo "smoke: /toplist distinct-identity estimate is zero:" >&2
+  cat "$TMP/toplist.json" >&2; exit 1
+}
+
 # Tracing: the replay traffic must be visible as completed request traces,
 # and the 1µs threshold must have produced structured slow-request lines.
 curl -sf "http://$ADDR/debug/requests?n=5" >"$TMP/requests.json"

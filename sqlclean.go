@@ -45,6 +45,7 @@ import (
 	"sqlclean/internal/schema"
 	"sqlclean/internal/session"
 	"sqlclean/internal/skeleton"
+	"sqlclean/internal/sketch"
 	"sqlclean/internal/stream"
 	"sqlclean/internal/traffic"
 	"sqlclean/internal/workload"
@@ -284,6 +285,11 @@ func ServeDebug(addr string, m *Metrics) (string, *http.Server, error) {
 // StreamConfig configures the bounded-memory streaming pipeline.
 type StreamConfig = stream.Config
 
+// SketchConfig sizes the streaming approximate-analytics layer (the
+// StreamConfig.Sketches field): HLL distinct-identity counter, SpaceSaving
+// heavy-hitter tracker and windowed SWS evidence.
+type SketchConfig = sketch.Config
+
 // StreamStats are the streaming pipeline's counters.
 type StreamStats = stream.Stats
 
@@ -305,21 +311,53 @@ func CleanStream(l Log, cfg StreamConfig) (Log, StreamStats, error) { return str
 // pairing with StreamProcessor for end-to-end bounded-memory cleaning.
 func ScanLogTSV(r io.Reader, fn func(Entry) error) error { return logmodel.ScanTSV(r, fn) }
 
-// WriteStreamJSON writes a streaming run's counters and accumulated template
-// statistics as indented JSON — the batch -json export's streaming
-// counterpart, using the same JSON names as the daemon's GET /report
-// payload.
+// StreamSketchJSON is the sketch block of the streaming -json export: the
+// approximate analytics accumulated alongside the exact counters. Present
+// only when the processor runs with sketches enabled.
+type StreamSketchJSON struct {
+	// DistinctUsersEstimate is the HLL distinct-identity estimate.
+	DistinctUsersEstimate int64 `json:"distinct_users_estimate"`
+	// SWSTemplates/SWSQueries classify the drained windowed evidence with
+	// the default thresholds — matching the batch pipeline's decision.
+	SWSTemplates int `json:"sws_templates"`
+	SWSQueries   int `json:"sws_queries"`
+	// Toplist is the SpaceSaving heavy-hitter summary, count-descending;
+	// each entry's true frequency lies in [count−err, count].
+	Toplist []sketch.HeavyHitter `json:"toplist"`
+}
+
+// WriteStreamJSON writes a streaming run's counters, accumulated template
+// statistics and sketch analytics as indented JSON — the batch -json
+// export's streaming counterpart, using the same JSON names as the daemon's
+// GET /report payload.
 func WriteStreamJSON(w io.Writer, p *StreamProcessor) error {
 	doc := struct {
 		Stream    StreamStats         `json:"stream"`
 		Templates []core.TemplateJSON `json:"templates"`
+		Sketches  *StreamSketchJSON   `json:"sketches,omitempty"`
 	}{Stream: p.Stats()}
+	var sws map[uint64]bool
+	if sk := p.Sketches(); sk != nil {
+		sws = p.ClassifySWS(pattern.DefaultSWSOptions())
+		sj := &StreamSketchJSON{
+			DistinctUsersEstimate: sk.HLL.Count(),
+			SWSTemplates:          len(sws),
+			Toplist:               sk.Top.Top(0),
+		}
+		for fp, ev := range sk.SWS.MergedEvidence() {
+			if sws[fp] {
+				sj.SWSQueries += ev.Freq
+			}
+		}
+		doc.Sketches = sj
+	}
 	for _, t := range p.Templates() {
 		doc.Templates = append(doc.Templates, core.TemplateJSON{
 			Fingerprint:    t.Fingerprint,
 			Skeleton:       t.Skeleton,
 			Frequency:      t.Frequency,
 			UserPopularity: t.UserPopularity,
+			SWS:            sws[t.Fingerprint],
 		})
 	}
 	enc := json.NewEncoder(w)
