@@ -7,6 +7,8 @@ package sqlclean_test
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -14,7 +16,9 @@ import (
 	"time"
 
 	"sqlclean"
+	"sqlclean/internal/colstore"
 	"sqlclean/internal/core"
+	"sqlclean/internal/journal"
 	"sqlclean/internal/dedup"
 	"sqlclean/internal/exec"
 	"sqlclean/internal/logmodel"
@@ -980,6 +984,116 @@ func BenchmarkObsOverhead(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchColstoreSetup journals the bench log into a fresh WAL directory
+// (small segments, so compaction produces several blocks) and returns it
+// together with the journaled byte size and the offline classifier the
+// -compact subcommand uses. The classifier's parser caches by statement
+// text, so repeated templates cost a map hit — the daemon's steady state.
+func benchColstoreSetup(b *testing.B) (walDir string, walBytes int64, classify colstore.Classifier) {
+	b.Helper()
+	log, _ := benchSetup(b)
+	walDir = filepath.Join(b.TempDir(), "wal")
+	jw, err := journal.Open(journal.Options{Dir: walDir, SegmentBytes: 64 << 10, Policy: journal.FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf []byte
+	for _, e := range log {
+		buf = journal.EncodeEntry(buf[:0], e)
+		if _, err := jw.Append(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := jw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(walDir, "wal-*.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range segs {
+		fi, err := os.Stat(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		walBytes += fi.Size()
+	}
+	parser := parsedlog.NewParser()
+	classify = func(stmt string) colstore.Classification {
+		pe := parser.ParseEntry(logmodel.Entry{Statement: stmt})
+		if pe.Info == nil {
+			return colstore.Classification{}
+		}
+		return colstore.Classification{EngineFP: pe.Info.Fingerprint}
+	}
+	return walDir, walBytes, classify
+}
+
+// BenchmarkColstoreCompact measures compacting a full WAL directory into
+// columnar blocks — the work the daemon's snapshot path does under -retain.
+// The compressed-ratio metric is block bytes over journal bytes (the
+// acceptance bar is ≤0.20 on the 100k-entry log).
+func BenchmarkColstoreCompact(b *testing.B) {
+	log, _ := benchSetup(b)
+	walDir, walBytes, classify := benchColstoreSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var blockBytes int64
+	for i := 0; i < b.N; i++ {
+		st, err := colstore.Open(colstore.Options{Dir: filepath.Join(b.TempDir(), fmt.Sprintf("col%d", i))})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := st.CompactWALDir(walDir, true, classify)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != len(log) {
+			b.Fatalf("compacted %d of %d entries", n, len(log))
+		}
+		_, blockBytes = st.Stats()
+	}
+	b.ReportMetric(float64(len(log)), "entries/op")
+	if walBytes > 0 {
+		b.ReportMetric(float64(blockBytes)/float64(walBytes), "compressed-ratio")
+	}
+}
+
+// BenchmarkColstoreScan measures reading every entry back out of the blocks
+// — the full-decode path behind sqlclean -scan and the server's retention
+// reads (GET /history takes the cheaper index-plus-two-columns path).
+func BenchmarkColstoreScan(b *testing.B) {
+	log, _ := benchSetup(b)
+	walDir, _, classify := benchColstoreSetup(b)
+	dir := filepath.Join(b.TempDir(), "col")
+	st, err := colstore.Open(colstore.Options{Dir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.CompactWALDir(walDir, true, classify); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := colstore.NewReader(dir).Scan(colstore.ScanOptions{}, func(_ uint64, e logmodel.Entry) error {
+			if e.Statement == "" {
+				return fmt.Errorf("empty statement at entry %d", n)
+			}
+			n++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != len(log) {
+			b.Fatalf("scanned %d of %d entries", n, len(log))
+		}
+	}
+	b.ReportMetric(float64(len(log)), "entries/op")
 }
 
 // BenchmarkStreamPipeline measures the bounded-memory streaming pipeline

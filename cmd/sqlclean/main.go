@@ -48,6 +48,15 @@ func main() {
 		progress   = flag.Bool("progress", false, "render a live progress line (rate, ETA) on stderr")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/pprof/ and /debug/vars on this address (e.g. :6060)")
 		timing     = flag.Bool("timing", false, "print the per-stage timing tree after the run")
+		extraRules = flag.Bool("extra-rules", false, "also detect the optional §5.4 antipatterns (Implicit Columns, leading-wildcard LIKE)")
+		compact    = flag.Bool("compact", false, "offline retention: compact a daemon journal (-data-dir) into columnar blocks (-retain-dir) and exit")
+		scanBlocks = flag.Bool("scan", false, "offline retention: scan columnar blocks (-retain-dir) back to TSV on stdout and exit")
+		dataDir    = flag.String("data-dir", "", "journal directory (wal-*.log) for -compact")
+		retainDir  = flag.String("retain-dir", "", "columnar block directory for -compact / -scan")
+		retainMax  = flag.Int64("retain-max-bytes", 0, "evict oldest blocks past this many bytes during -compact (0 keeps everything)")
+		scanFrom   = flag.String("from", "", "lower time bound for -scan (RFC3339 or log timestamp format)")
+		scanTo     = flag.String("to", "", "upper time bound for -scan")
+		scanTmpl   = flag.Uint64("template", 0, "only -scan entries of this template fingerprint (engine or lexical)")
 		logLevel   = flag.String("log-level", "info", "stderr log verbosity: debug | info | warn | error")
 		logFormat  = flag.String("log-format", "text", "stderr log format: text | json")
 		version    = flag.Bool("version", false, "print the build stamp and exit")
@@ -64,6 +73,15 @@ func main() {
 		fatal(lerr)
 	}
 	logger = l.With("component", "sqlclean")
+
+	if *compact {
+		runCompact(*dataDir, *retainDir, *retainMax)
+		return
+	}
+	if *scanBlocks {
+		runScan(*retainDir, *scanFrom, *scanTo, *scanTmpl)
+		return
+	}
 
 	// Observability: one registry feeds the debug endpoint, the progress
 	// reporter and the pipeline's hot-path counters.
@@ -102,7 +120,7 @@ func main() {
 		if *format != "tsv" {
 			fatal(fmt.Errorf("-stream supports tsv input only"))
 		}
-		runStreaming(r, *dup, *gap, *noKeyCheck, *cleanOut, *jsonOut, metrics, *progress)
+		runStreaming(r, *dup, *gap, *noKeyCheck, *extraRules, *cleanOut, *jsonOut, metrics, *progress)
 		return
 	}
 
@@ -132,6 +150,9 @@ func main() {
 		Workers:            *workers,
 		ClusterThreshold:   *clusterT,
 		Metrics:            metrics,
+	}
+	if *extraRules {
+		cfg.ExtraRules, cfg.ExtraSolvers = extraRuleSet()
 	}
 	if *progress {
 		total := int64(len(log))
@@ -202,24 +223,36 @@ func main() {
 		}
 	}
 	if *jsonOut != "" {
-		f, err := os.Create(*jsonOut)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := sqlclean.WriteResultJSON(f, res, 0); err != nil {
+		if err := writeFile(*jsonOut, func(f *os.File) error {
+			return sqlclean.WriteResultJSON(f, res, 0)
+		}); err != nil {
 			fatal(err)
 		}
 	}
 }
 
-func writeLog(path string, l sqlclean.Log) error {
+// writeFile creates path, runs write, and surfaces the Close error too: a
+// failed Close after buffered writes is data loss, and a deferred Close
+// would swallow it while the process exits 0.
+func writeFile(path string, write func(*os.File) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return sqlclean.WriteLogTSV(f, l)
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	return nil
+}
+
+func writeLog(path string, l sqlclean.Log) error {
+	return writeFile(path, func(f *os.File) error {
+		return sqlclean.WriteLogTSV(f, l)
+	})
 }
 
 func truncate(s string, n int) string {
@@ -269,22 +302,26 @@ func printTiming(w io.Writer, st sqlclean.StageTiming, depth int) {
 // writing cleaned entries as their sessions close. -json exports the
 // streaming stats and template statistics (same JSON names as the daemon's
 // GET /report "stream" block).
-func runStreaming(r io.Reader, dup, gap time.Duration, noKeyCheck bool, cleanOut, jsonOut string, metrics *sqlclean.Metrics, progress bool) {
+func runStreaming(r io.Reader, dup, gap time.Duration, noKeyCheck, extraRules bool, cleanOut, jsonOut string, metrics *sqlclean.Metrics, progress bool) {
 	out := os.Stdout
+	var outFile *os.File
 	if cleanOut != "" {
 		f, err := os.Create(cleanOut)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		out = f
+		out, outFile = f, f
 	}
-	p := sqlclean.NewStream(sqlclean.StreamConfig{
+	scfg := sqlclean.StreamConfig{
 		DuplicateThreshold: dup,
 		SessionGap:         gap,
 		DisableKeyCheck:    noKeyCheck,
 		Metrics:            metrics,
-	})
+	}
+	if extraRules {
+		scfg.ExtraRules, scfg.ExtraSolvers = extraRuleSet()
+	}
+	p := sqlclean.NewStream(scfg)
 	if progress {
 		pr := sqlclean.NewProgress(os.Stderr, 0, func() sqlclean.ProgressSample {
 			return sqlclean.ProgressSample{
@@ -314,17 +351,21 @@ func runStreaming(r io.Reader, dup, gap time.Duration, noKeyCheck bool, cleanOut
 		fatal(err)
 	}
 	emit(p.Close())
+	// The cleaned log was written incrementally; its Close error is the last
+	// chance to learn the writes didn't stick.
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fatal(fmt.Errorf("close %s: %w", cleanOut, err))
+		}
+	}
 	st := p.Stats()
 	logger.Info("stream done",
 		"in", st.In, "selects", st.Selects, "duplicates", st.Duplicates,
 		"out", st.Out, "solved_away", st.Selects-st.Duplicates-st.Out)
 	if jsonOut != "" {
-		f, err := os.Create(jsonOut)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := sqlclean.WriteStreamJSON(f, p); err != nil {
+		if err := writeFile(jsonOut, func(f *os.File) error {
+			return sqlclean.WriteStreamJSON(f, p)
+		}); err != nil {
 			fatal(err)
 		}
 	}

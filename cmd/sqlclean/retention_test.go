@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"sqlclean"
+)
+
+// TestExtraRuleSet pins what -extra-rules actually registers: both optional
+// kinds, and a solver for every solvable one (LeadingWildcard is detect-only).
+func TestExtraRuleSet(t *testing.T) {
+	rules, solvers := extraRuleSet()
+	kinds := map[string]bool{}
+	for _, r := range rules {
+		kinds[string(r.Kind())] = true
+	}
+	if !kinds[string(sqlclean.KindImplicitColumns)] || !kinds[string(sqlclean.KindLeadingWildcard)] {
+		t.Fatalf("rule kinds = %v, want ImplicitColumns and LeadingWildcard", kinds)
+	}
+	solved := map[string]bool{}
+	for _, s := range solvers {
+		solved[string(s.Kind())] = true
+	}
+	if !solved[string(sqlclean.KindImplicitColumns)] {
+		t.Errorf("solver kinds = %v, want ImplicitColumns", solved)
+	}
+	if solved[string(sqlclean.KindLeadingWildcard)] {
+		t.Errorf("LeadingWildcard has a solver; the rule is documented detect-only")
+	}
+}
+
+// TestParseScanTime covers both accepted formats and the error path.
+func TestParseScanTime(t *testing.T) {
+	if ts, err := parseScanTime("2026-01-01T00:00:00Z"); err != nil || ts.IsZero() {
+		t.Errorf("RFC3339: %v %v", ts, err)
+	}
+	if ts, err := parseScanTime(""); err != nil || !ts.IsZero() {
+		t.Errorf("empty: %v %v", ts, err)
+	}
+	if _, err := parseScanTime("yesterday"); err == nil {
+		t.Error("bad time accepted")
+	}
+}

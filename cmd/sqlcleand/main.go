@@ -80,6 +80,10 @@ func main() {
 		fsyncMode  = flag.String("fsync", "interval", "journal fsync policy: always | interval | never")
 		fsyncEvery = flag.Duration("fsync-interval", time.Second, "background fsync cadence for -fsync interval")
 		snapEvery  = flag.Duration("snapshot-interval", 5*time.Minute, "checkpoint cadence (<0 disables periodic snapshots)")
+		retain     = flag.Bool("retain", false, "compact snapshot-covered journal segments into columnar blocks instead of deleting them (requires -data-dir); serves GET /history")
+		retainDir  = flag.String("retain-dir", "", "columnar block directory (empty = <data-dir>/colstore)")
+		retainMax  = flag.Int64("retain-max-bytes", 0, "evict oldest retention blocks past this many bytes (0 keeps everything)")
+		extraRules = flag.Bool("extra-rules", false, "also detect the optional §5.4 antipatterns (Implicit Columns, leading-wildcard LIKE)")
 		maxSkew    = flag.Duration("max-skew", 0, "reject entries this far past the event-time watermark (0 = disabled)")
 		noClusters = flag.Bool("no-clusters", false, "disable the GET /clusters overlap-clustering surface")
 		clusterT   = flag.Float64("cluster-threshold", 0.9, "default overlap-distance threshold for GET /clusters")
@@ -112,12 +116,13 @@ func main() {
 	}
 
 	var emit func(logmodel.Log)
+	var cleanFile *os.File
 	if *cleanOut != "" {
 		f, err := os.OpenFile(*cleanOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		cleanFile = f
 		// The server serializes Emit calls, so plain writes are safe.
 		emit = func(l logmodel.Log) {
 			if err := logmodel.WriteTSV(f, l); err != nil {
@@ -133,21 +138,25 @@ func main() {
 
 	metrics := sqlclean.NewMetrics()
 	sqlclean.InstrumentParallel(metrics)
+	streamCfg := stream.Config{
+		DuplicateThreshold: *dup,
+		SessionGap:         *gap,
+		DisableKeyCheck:    *noKeyCheck,
+		Sketches: sketch.Config{
+			Disabled:     *noSketch,
+			HLLPrecision: *hllPrec,
+			TopK:         *topK,
+			SWSWindow:    *swsWindow,
+		},
+	}
+	if *extraRules {
+		streamCfg.ExtraRules, streamCfg.ExtraSolvers = extraRuleSet()
+	}
 	srv, err := server.New(server.Config{
 		Stream: stream.ShardedConfig{
 			Shards:        *shards,
 			MaxFutureSkew: *maxSkew,
-			Config: stream.Config{
-				DuplicateThreshold: *dup,
-				SessionGap:         *gap,
-				DisableKeyCheck:    *noKeyCheck,
-				Sketches: sketch.Config{
-					Disabled:     *noSketch,
-					HLLPrecision: *hllPrec,
-					TopK:         *topK,
-					SWSWindow:    *swsWindow,
-				},
-			},
+			Config:        streamCfg,
 		},
 		QueueSize:        *queue,
 		MaxBodyBytes:     *maxBody << 20,
@@ -162,6 +171,9 @@ func main() {
 		Fsync:            policy,
 		FsyncInterval:    *fsyncEvery,
 		SnapshotInterval: *snapEvery,
+		Retain:           *retain,
+		RetainDir:        *retainDir,
+		RetainMaxBytes:   *retainMax,
 	})
 	if err != nil {
 		fatal(err)
@@ -199,10 +211,26 @@ func main() {
 	if err := srv.Close(ctx); err != nil {
 		fatal(fmt.Errorf("drain: %w", err))
 	}
+	// Close the cleaned-log sink only after the drain: the final flush still
+	// writes through it, and its Close error is the last chance to learn the
+	// appended sessions didn't stick.
+	if cleanFile != nil {
+		if err := cleanFile.Close(); err != nil {
+			fatal(fmt.Errorf("close %s: %w", *cleanOut, err))
+		}
+	}
 	st := srv.Engine().Stats()
 	logger.Info("drained",
 		"in", st.In, "selects", st.Selects, "duplicates", st.Duplicates,
 		"out", st.Out, "sessions", st.SessionsEmitted)
+}
+
+// extraRuleSet assembles the optional §5.4 rule set behind -extra-rules:
+// Karwin's Implicit Columns and leading-wildcard LIKE, with the matching
+// solvers, over the SkyServer demo catalog.
+func extraRuleSet() ([]sqlclean.Rule, []sqlclean.Solver) {
+	cat := sqlclean.SkyServerCatalog()
+	return sqlclean.ExtraAntipatternRules(cat), sqlclean.ExtraAntipatternSolvers(cat)
 }
 
 // fatalPlain reports an error from before the logger exists.

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"testing"
+
+	"sqlclean"
+)
+
+// TestExtraRuleSet pins what -extra-rules registers on the daemon's engine:
+// both optional kinds, with the ImplicitColumns solver alongside.
+func TestExtraRuleSet(t *testing.T) {
+	rules, solvers := extraRuleSet()
+	if len(rules) == 0 || len(solvers) == 0 {
+		t.Fatalf("extraRuleSet: %d rules, %d solvers", len(rules), len(solvers))
+	}
+	kinds := map[string]bool{}
+	for _, r := range rules {
+		kinds[string(r.Kind())] = true
+	}
+	if !kinds[string(sqlclean.KindImplicitColumns)] || !kinds[string(sqlclean.KindLeadingWildcard)] {
+		t.Fatalf("rule kinds = %v, want ImplicitColumns and LeadingWildcard", kinds)
+	}
+}

@@ -1,0 +1,100 @@
+package colstore
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSplitJoinExamples(t *testing.T) {
+	cases := []struct {
+		in       string
+		params   int
+		skeleton string // "" = don't check
+	}{
+		{"select top 10 ra, dec from PhotoObj where objID=587731186203885111", 2,
+			"select top \x1a ra, dec from PhotoObj where objID=\x1a"},
+		{"SELECT * FROM SpecObj WHERE z BETWEEN 0.02 AND 0.05", 2, ""},
+		{"select name from users where name = 'O''Brien'", 1,
+			"select name from users where name = \x1a"},
+		{"select 'a', 'b', 1.5e-3, .25, 0x0 from t", 5, ""}, // 0x0 splits as 0, x0 is a word
+		{"/* 42 is not a literal */ select 7 -- trailing 9\n", 1, ""},
+		{"select [col 1], \"col 2\", photoObj2.x1 from [my table]", 0, ""},
+		{"", 0, ""},
+		{"select col3 from t1x", 0, ""},
+		{"'unterminated literal", 1, "\x1a"},
+	}
+	for _, c := range cases {
+		sk, params, opaque := Split(c.in)
+		if opaque {
+			t.Errorf("Split(%q) unexpectedly opaque", c.in)
+		}
+		if len(params) != c.params {
+			t.Errorf("Split(%q) = %d params %v, want %d", c.in, len(params), params, c.params)
+		}
+		if c.skeleton != "" && sk != c.skeleton {
+			t.Errorf("Split(%q) skeleton = %q, want %q", c.in, sk, c.skeleton)
+		}
+		if got := Join(sk, params); got != c.in {
+			t.Errorf("Join(Split(%q)) = %q", c.in, got)
+		}
+	}
+}
+
+func TestSplitOpaque(t *testing.T) {
+	in := "select \x1a from t where x = 5"
+	sk, params, opaque := Split(in)
+	if !opaque || sk != in || params != nil {
+		t.Fatalf("Split of statement containing the slot byte: opaque=%v sk=%q params=%v", opaque, sk, params)
+	}
+	if got := Join(sk, params); got != in {
+		t.Fatalf("opaque Join = %q, want %q", got, in)
+	}
+}
+
+// TestSplitJoinProperty fuzzes the reversibility contract over random byte
+// strings biased toward SQL-ish content.
+func TestSplitJoinProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphabet := []string{
+		"select ", "from ", "where ", "'", "''", "0", "5.5", "1e9", ".", "-", "--",
+		"/*", "*/", "[", "]", "\"", "x", "tbl3", "=", " ", "\n", "\x00", "\x1a", "é", ",",
+	}
+	for i := 0; i < 5000; i++ {
+		var s string
+		for n := rng.Intn(20); n > 0; n-- {
+			s += alphabet[rng.Intn(len(alphabet))]
+		}
+		sk, params, opaque := Split(s)
+		if got := Join(sk, params); got != s {
+			t.Fatalf("seed case %d: Join(Split(%q)) = %q (skeleton %q, params %v, opaque %v)",
+				i, s, got, sk, params, opaque)
+		}
+		if !opaque {
+			if n := countSlots(sk); n != len(params) {
+				t.Fatalf("case %d: %d slots in skeleton, %d params", i, n, len(params))
+			}
+		}
+	}
+}
+
+func countSlots(sk string) int {
+	n := 0
+	for i := 0; i < len(sk); i++ {
+		if sk[i] == slotByte {
+			n++
+		}
+	}
+	return n
+}
+
+func TestFingerprintStability(t *testing.T) {
+	sk1, _, _ := Split("select ra from PhotoObj where objID=1")
+	sk2, _, _ := Split("select ra from PhotoObj where objID=99999")
+	if sk1 != sk2 || Fingerprint(sk1) != Fingerprint(sk2) {
+		t.Fatalf("same template, different identity: %q vs %q", sk1, sk2)
+	}
+	sk3, _, _ := Split("select dec from PhotoObj where objID=1")
+	if Fingerprint(sk1) == Fingerprint(sk3) {
+		t.Fatalf("distinct templates share a fingerprint")
+	}
+}

@@ -402,6 +402,40 @@ func (w *Writer) Segments() int {
 	return len(w.segs)
 }
 
+// SealedSegmentsBelow returns the paths of every sealed segment whose frames
+// all have LSN < lsn — exactly the segments TruncateBefore(lsn) would remove.
+// The active segment is never included, so the returned files are immutable
+// and safe to read (or compact) without holding the writer's lock.
+func (w *Writer) SealedSegmentsBelow(lsn uint64) []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var paths []string
+	for i := 0; i+1 < len(w.segs) && w.segs[i+1].first <= lsn; i++ {
+		paths = append(paths, w.segs[i].path)
+	}
+	return paths
+}
+
+// ScanSegmentFile streams every valid frame of one segment file through fn
+// in LSN order. A torn or corrupted tail ends the scan cleanly (the same
+// tolerance Replay has); an error from fn aborts it. The frame count and
+// the segment's first/last valid LSNs are returned (first==last==0 when the
+// segment holds no valid frames).
+func ScanSegmentFile(path string, fn func(lsn uint64, payload []byte) error) (frames int, firstLSN, lastLSN uint64, err error) {
+	wrapped := func(lsn uint64, payload []byte) error {
+		if frames == 0 {
+			firstLSN = lsn
+		}
+		frames++
+		if fn == nil {
+			return nil
+		}
+		return fn(lsn, payload)
+	}
+	_, lastLSN, _, err = scanSegment(path, 0, wrapped)
+	return frames, firstLSN, lastLSN, err
+}
+
 // Close flushes, fsyncs and closes the journal.
 func (w *Writer) Close() error {
 	w.mu.Lock()

@@ -192,11 +192,10 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 		}
 		threshold = f
 	}
-	top := 0
-	if v := r.URL.Query().Get("top"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil {
-			top = n
-		}
+	top, err := parseTop(r, 0) // 0: Clusters applies its own default
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
 	}
 	writeJSON(w, http.StatusOK, s.Clusters(threshold, top))
 }

@@ -35,7 +35,10 @@ import (
 	"strings"
 	"time"
 
+	"sqlclean/internal/colstore"
 	"sqlclean/internal/journal"
+	"sqlclean/internal/logmodel"
+	"sqlclean/internal/pattern"
 	"sqlclean/internal/stream"
 )
 
@@ -121,6 +124,26 @@ func (s *Server) openDurability() error {
 		return fmt.Errorf("server: open journal: %w", err)
 	}
 	s.jw = jw
+	if s.cfg.Retain {
+		retainDir := s.cfg.RetainDir
+		if retainDir == "" {
+			retainDir = filepath.Join(dir, "colstore")
+		}
+		st, err := colstore.Open(colstore.Options{
+			Dir:      retainDir,
+			MaxBytes: s.cfg.RetainMaxBytes,
+			Metrics:  s.reg,
+			Logger:   s.log,
+		})
+		if err != nil {
+			return fmt.Errorf("server: open retention store: %w", err)
+		}
+		s.store = st
+		blocks, bytes := st.Stats()
+		s.log.Info("retention store open",
+			"component", "server", "retain_dir", retainDir,
+			"blocks", blocks, "bytes", bytes, "max_bytes", s.cfg.RetainMaxBytes)
+	}
 	return nil
 }
 
@@ -268,8 +291,26 @@ func (s *Server) writeSnapshot(sf snapshotFile) error {
 			}
 		}
 	}
-	if _, err := s.jw.TruncateBefore(sf.AppliedLSN + 1); err != nil {
-		return fmt.Errorf("server: truncate journal: %w", err)
+	// With retention on, every disposable segment is compacted into the
+	// columnar store before the journal deletes it. A failed compaction
+	// retains the failed segment and everything after it (truncation stops
+	// short) — the entries stay in the WAL and the next snapshot retries.
+	truncBelow := sf.AppliedLSN + 1
+	if s.store != nil {
+		classify := s.colstoreClassifier()
+		for _, seg := range s.jw.SealedSegmentsBelow(truncBelow) {
+			if _, cerr := s.store.CompactSegment(seg, classify); cerr != nil {
+				s.log.Error("segment compaction failed, retaining journal segment",
+					"component", "server", "segment", filepath.Base(seg), "error", cerr)
+				truncBelow = segmentFirstLSN(seg)
+				break
+			}
+		}
+	}
+	if truncBelow > 0 {
+		if _, err := s.jw.TruncateBefore(truncBelow); err != nil {
+			return fmt.Errorf("server: truncate journal: %w", err)
+		}
 	}
 	s.mSnapshots.Inc()
 	s.gSnapshotLSN.Set(int64(sf.AppliedLSN))
@@ -290,6 +331,43 @@ func (s *Server) closeDurability() {
 		s.log.Error("final snapshot failed", "component", "server", "error", err)
 	}
 	_ = s.jw.Close()
+}
+
+// segmentFirstLSN parses a segment file's first LSN out of its
+// wal-<hex>.log name; 0 (truncate nothing) when the name is unparsable.
+func segmentFirstLSN(path string) uint64 {
+	name := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(path), "wal-"), ".log")
+	lsn, err := strconv.ParseUint(name, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return lsn
+}
+
+// colstoreClassifier captures one consistent engine view for a compaction
+// round: the live antipattern verdicts per template plus the SWS
+// classification, keyed by engine fingerprint. Each distinct lexical
+// template costs one parse of a representative statement — literals are
+// masked the same way in both identities, so one representative suffices.
+func (s *Server) colstoreClassifier() colstore.Classifier {
+	kinds := s.eng.TemplateKinds()
+	var sws map[uint64]bool
+	if sk := s.eng.Sketches(); sk != nil {
+		sws = sk.SWS.Classify(s.eng.Stats().Selects, pattern.DefaultSWSOptions())
+	}
+	parser := s.cfg.Stream.Parser
+	return func(stmt string) colstore.Classification {
+		pe := parser.ParseEntry(logmodel.Entry{Statement: stmt})
+		if pe.Info == nil {
+			return colstore.Classification{}
+		}
+		fp := pe.Info.Fingerprint
+		c := colstore.Classification{EngineFP: fp, Verdicts: kinds[fp]}
+		if sws[fp] {
+			c.Verdicts = append(append([]string(nil), c.Verdicts...), "sws")
+		}
+		return c
+	}
 }
 
 // listSnapshots returns snapshot file names sorted by LSN ascending.

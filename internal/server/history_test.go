@@ -1,0 +1,291 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sqlclean/internal/antipattern"
+	"sqlclean/internal/colstore"
+	"sqlclean/internal/logmodel"
+)
+
+// getStatus GETs a URL, decodes the JSON body into v (when non-nil) and
+// returns the status code — for endpoints where non-200 is the point.
+func getStatus(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestHistoryAfterRetention is the tentpole acceptance path: run the daemon
+// with retention, feed a log whose dominant template accumulates a stifle
+// verdict, shut down gracefully (final snapshot → compaction → journal
+// truncation), and answer template trend queries from the columnar blocks
+// after the originating journal segments are gone.
+func TestHistoryAfterRetention(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir)
+	cfg.Retain = true
+	cfg.SegmentBytes = 2048 // many sealed segments → many blocks
+
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	var log logmodel.Log
+	// alice: a 150-query stifle run, one per minute — one long session whose
+	// template earns a DWStifle verdict when it closes.
+	for i := 0; i < 150; i++ {
+		log = append(log, logmodel.Entry{
+			Time: base.Add(time.Duration(i) * time.Minute), User: "alice",
+			Statement: fmt.Sprintf("SELECT name FROM Employees WHERE id = %d", i),
+		})
+	}
+	// bob: sparse singleton sessions (10 min apart > the 5 min gap), so his
+	// template stays verdict-free.
+	for i := 0; i < 15; i++ {
+		log = append(log, logmodel.Entry{
+			Time: base.Add(time.Duration(i) * 10 * time.Minute), User: "bob",
+			Statement: fmt.Sprintf("SELECT age FROM Employees WHERE age = %d", i),
+		})
+	}
+	log.SortStable()
+	feedStrict(t, s, ts.URL, log)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The final snapshot compacted every sealed segment; only the active one
+	// survives in the journal.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("journal segments after retention close = %v (err=%v), want exactly the active one", segs, err)
+	}
+	var h HealthPayload
+	getJSON(t, ts.URL+"/healthz", &h)
+	if h.Durability == nil || h.Durability.RetainBlocks < 2 || h.Durability.RetainBytes <= 0 {
+		t.Fatalf("healthz durability = %+v, want >=2 retention blocks", h.Durability)
+	}
+
+	// Ground truth from the store itself: the history total must equal the
+	// compacted entry count, and those entries are no longer in the journal.
+	var compacted int
+	blocks, err := colstore.NewReader(filepath.Join(dir, "colstore")).Blocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		compacted += b.Meta.Entries
+	}
+	if compacted == 0 {
+		t.Fatal("nothing was compacted")
+	}
+
+	var p HistoryPayload
+	if code := getStatus(t, ts.URL+"/history", &p); code != http.StatusOK {
+		t.Fatalf("/history: status %d", code)
+	}
+	if p.Entries != compacted || len(p.Windows) == 0 {
+		t.Fatalf("history entries = %d over %d windows, want %d compacted entries", p.Entries, len(p.Windows), compacted)
+	}
+	sum := 0
+	for _, win := range p.Windows {
+		sum += win.Count
+	}
+	if sum != p.Entries {
+		t.Errorf("window counts sum to %d, entries = %d", sum, p.Entries)
+	}
+	if p.BlocksScanned != len(blocks) || p.BlocksPruned != 0 {
+		t.Errorf("scanned %d pruned %d of %d blocks", p.BlocksScanned, p.BlocksPruned, len(blocks))
+	}
+
+	// The dominant template (alice's) by engine fingerprint: filtered trend
+	// plus the verdict stamped at compaction time.
+	var rp ReportPayload
+	getJSON(t, ts.URL+"/report?top=1", &rp)
+	if len(rp.Templates) != 1 || rp.Templates[0].Frequency != 150 {
+		t.Fatalf("report top template: %+v", rp.Templates)
+	}
+	fp := rp.Templates[0].Fingerprint
+	var pt HistoryPayload
+	url := fmt.Sprintf("%s/history?template=%d&step=30m", ts.URL, fp)
+	if code := getStatus(t, url, &pt); code != http.StatusOK {
+		t.Fatalf("template history: status %d", code)
+	}
+	if pt.Entries == 0 || pt.Entries >= p.Entries {
+		t.Fatalf("template-filtered entries = %d, want 0 < n < %d", pt.Entries, p.Entries)
+	}
+	found := false
+	for _, v := range pt.Verdicts {
+		if v == string(antipattern.DWStifle) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("template verdicts = %v, want %s", pt.Verdicts, antipattern.DWStifle)
+	}
+
+	// Time-range pruning: a half-hour slice stays inside the range and below
+	// the full count; a disjoint future range prunes every block.
+	var pr HistoryPayload
+	rangeURL := fmt.Sprintf("%s/history?from=%s&to=%s&step=10m", ts.URL,
+		base.Format(time.RFC3339), base.Add(29*time.Minute).Format(time.RFC3339))
+	if code := getStatus(t, rangeURL, &pr); code != http.StatusOK {
+		t.Fatalf("range history: status %d", code)
+	}
+	if pr.Entries == 0 || pr.Entries >= p.Entries {
+		t.Fatalf("range entries = %d, want 0 < n < %d", pr.Entries, p.Entries)
+	}
+	for _, win := range pr.Windows {
+		if win.Start.Before(base) || win.Start.After(base.Add(29*time.Minute)) {
+			t.Errorf("window %v outside requested range", win.Start)
+		}
+	}
+	var pf HistoryPayload
+	futureURL := ts.URL + "/history?from=2030-01-01T00:00:00Z&to=2030-01-02T00:00:00Z"
+	if code := getStatus(t, futureURL, &pf); code != http.StatusOK {
+		t.Fatalf("future range: status %d", code)
+	}
+	if pf.Entries != 0 || pf.BlocksScanned != 0 || pf.BlocksPruned != len(blocks) {
+		t.Errorf("future range: %+v, want all %d blocks pruned", pf, len(blocks))
+	}
+
+	// Unknown template: empty result, not an error.
+	var pu HistoryPayload
+	if code := getStatus(t, ts.URL+"/history?template=123456789", &pu); code != http.StatusOK {
+		t.Fatalf("unknown template: status %d", code)
+	}
+	if pu.Entries != 0 || len(pu.Windows) != 0 {
+		t.Errorf("unknown template returned data: %+v", pu)
+	}
+
+	// Bad parameters are client errors.
+	for _, q := range []string{
+		"template=xyz",
+		"from=yesterday",
+		"to=tomorrow",
+		"from=2026-01-02T00:00:00Z&to=2026-01-01T00:00:00Z",
+		"step=abc",
+		"step=-1h",
+		"step=0s",
+		"step=1ms", // full range / 1ms blows the window cap
+	} {
+		var e map[string]string
+		if code := getStatus(t, ts.URL+"/history?"+q, &e); code != http.StatusBadRequest {
+			t.Errorf("/history?%s: status %d, want 400 (%v)", q, code, e)
+		} else if e["error"] == "" {
+			t.Errorf("/history?%s: 400 without an error message", q)
+		}
+	}
+}
+
+// TestHistoryDisabled: without retention the endpoint is absent, not empty.
+func TestHistoryDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var e map[string]string
+	if code := getStatus(t, ts.URL+"/history", &e); code != http.StatusNotFound {
+		t.Fatalf("/history without retention: status %d, want 404", code)
+	}
+	if !strings.Contains(e["error"], "retention") {
+		t.Errorf("404 body: %v", e)
+	}
+}
+
+// TestRetainRequiresDataDir: retention without a journal to compact is a
+// configuration error, caught at startup.
+func TestRetainRequiresDataDir(t *testing.T) {
+	if _, err := New(Config{Retain: true}); err == nil || !strings.Contains(err.Error(), "data dir") {
+		t.Fatalf("New(Retain, no DataDir): err = %v, want data-dir error", err)
+	}
+}
+
+// TestTopParamValidation pins the 400 contract on ?top= for /report and
+// /clusters: a malformed or non-positive value must not be silently replaced
+// by the default.
+func TestTopParamValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, u := range []string{
+		"/report?top=abc", "/report?top=-5", "/report?top=0",
+		"/clusters?top=abc", "/clusters?top=-5", "/clusters?top=0",
+	} {
+		var e map[string]string
+		if code := getStatus(t, ts.URL+u, &e); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", u, code)
+		} else if !strings.Contains(e["error"], "top") {
+			t.Errorf("%s: error %q does not name the parameter", u, e["error"])
+		}
+	}
+	// Valid values still work.
+	var rp ReportPayload
+	if code := getStatus(t, ts.URL+"/report?top=3", &rp); code != http.StatusOK {
+		t.Errorf("/report?top=3: status %d", code)
+	}
+	var cp ClustersPayload
+	if code := getStatus(t, ts.URL+"/clusters?top=3", &cp); code != http.StatusOK {
+		t.Errorf("/clusters?top=3: status %d", code)
+	}
+}
+
+// TestExtraRulesHandler: with the optional rule set registered, leading-
+// wildcard traffic is detected and reported; without it, the same traffic is
+// clean. (The CLI flag -extra-rules wires exactly this configuration.)
+func TestExtraRulesHandler(t *testing.T) {
+	base := time.Date(2026, 2, 1, 12, 0, 0, 0, time.UTC)
+	log := logmodel.Log{
+		{Time: base, User: "u", Statement: "SELECT name FROM Employees WHERE name LIKE '%son%'"},
+		{Time: base.Add(2 * time.Second), User: "u", Statement: "SELECT name FROM Employees WHERE name LIKE '%sen%'"},
+	}
+	run := func(extra bool) ReportPayload {
+		cfg := Config{}
+		if extra {
+			cfg.Stream.Config.ExtraRules = antipattern.ExtraRules(cfg.Stream.Catalog)
+		}
+		s, ts := newTestServer(t, cfg)
+		postIngest(t, ts.URL, ndjsonBody(log))
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Fatal(err)
+		}
+		var rp ReportPayload
+		getJSON(t, ts.URL+"/report", &rp)
+		return rp
+	}
+	count := func(rp ReportPayload) int {
+		for _, a := range rp.Report.Antipatterns {
+			if a.Kind == string(antipattern.LeadingWildcard) {
+				return a.Instances
+			}
+		}
+		return 0
+	}
+	if n := count(run(true)); n != 2 {
+		t.Errorf("with extra rules: %d LeadingWildcard instances, want 2", n)
+	}
+	if n := count(run(false)); n != 0 {
+		t.Errorf("without extra rules: %d LeadingWildcard instances, want 0", n)
+	}
+}

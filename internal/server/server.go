@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"sqlclean/internal/buildinfo"
+	"sqlclean/internal/colstore"
 	"sqlclean/internal/core"
 	"sqlclean/internal/journal"
 	"sqlclean/internal/logmodel"
@@ -111,6 +112,17 @@ type Config struct {
 	// minutes; negative disables periodic snapshots — the on-drain snapshot
 	// still runs). Each snapshot truncates the journal behind it.
 	SnapshotInterval time.Duration
+
+	// Retain enables the columnar retention store (requires DataDir): WAL
+	// segments a snapshot has made disposable are compacted into compressed
+	// columnar blocks instead of deleted, and GET /history serves template
+	// trend queries from them long after the journal is gone.
+	Retain bool
+	// RetainDir is the block directory (empty selects DataDir/colstore).
+	RetainDir string
+	// RetainMaxBytes caps total block bytes; the oldest blocks are evicted
+	// when compaction pushes the store over. 0 keeps everything.
+	RetainMaxBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -167,6 +179,8 @@ type Server struct {
 
 	// Durability state; jw is nil without Config.DataDir (see durability.go).
 	jw *journal.Writer
+	// store is the columnar retention store; nil without Config.Retain.
+	store *colstore.Store
 	// enqMu freezes the enqueue path while a snapshot captures engine state;
 	// pending counts entries enqueued but not yet applied by a drain.
 	enqMu    sync.RWMutex
@@ -219,6 +233,9 @@ type Server struct {
 // Handler.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Retain && cfg.DataDir == "" {
+		return nil, errors.New("server: retention (-retain) requires a data dir (-data-dir)")
+	}
 	if cfg.Stream.Metrics == nil {
 		cfg.Stream.Metrics = cfg.Metrics
 	}
@@ -415,6 +432,7 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /report", "report", http.HandlerFunc(s.handleReport))
 	handle("GET /clusters", "clusters", http.HandlerFunc(s.handleClusters))
 	handle("GET /toplist", "toplist", http.HandlerFunc(s.handleToplist))
+	handle("GET /history", "history", http.HandlerFunc(s.handleHistory))
 	handle("GET /healthz", "healthz", http.HandlerFunc(s.handleHealthz))
 	handle("GET /statusz", "statusz", http.HandlerFunc(s.handleStatusz))
 	// More specific than the debug mux's /debug/ subtree, so it wins.
@@ -812,12 +830,26 @@ func sortAntipatterns(a []core.AntipatternSummaryJSON) {
 	}
 }
 
+// parseTop validates a ?top= query parameter: absent selects def, anything
+// that is not a positive integer is a client error (silently substituting
+// the default would make /report?top=abc indistinguishable from top=20).
+func parseTop(r *http.Request, def int) (int, error) {
+	v := r.URL.Query().Get("top")
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("top must be a positive integer, got %q", v)
+	}
+	return n, nil
+}
+
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	top := 20
-	if v := r.URL.Query().Get("top"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil {
-			top = n
-		}
+	top, err := parseTop(r, 20)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
 	}
 	writeJSON(w, http.StatusOK, s.Report(top))
 }
@@ -834,6 +866,10 @@ type DurabilityHealth struct {
 	JournalSegments int `json:"journal_segments"`
 	// ReplayedOnStart counts entries replayed from the journal at startup.
 	ReplayedOnStart int `json:"replayed_on_start"`
+	// RetainBlocks/RetainBytes describe the columnar retention store
+	// (absent when retention is off).
+	RetainBlocks int   `json:"retain_blocks,omitempty"`
+	RetainBytes  int64 `json:"retain_bytes,omitempty"`
 }
 
 // HealthPayload is the GET /healthz document.
@@ -902,6 +938,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			SnapshotLSN:     uint64(s.gSnapshotLSN.Value()),
 			JournalSegments: s.jw.Segments(),
 			ReplayedOnStart: s.replayed,
+		}
+		if s.store != nil {
+			h.Durability.RetainBlocks, h.Durability.RetainBytes = s.store.Stats()
 		}
 	}
 	writeJSON(w, http.StatusOK, h)

@@ -369,6 +369,37 @@ func (s *Sharded) Templates() []pattern.TemplateStats {
 	return out
 }
 
+// TemplateKinds merges the per-shard verdict maps: a template carries every
+// kind any shard attributed to it, sorted.
+func (s *Sharded) TemplateKinds() map[uint64][]string {
+	union := map[uint64]map[string]struct{}{}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		tk := sh.p.TemplateKinds()
+		sh.mu.Unlock()
+		for fp, ks := range tk {
+			set := union[fp]
+			if set == nil {
+				set = map[string]struct{}{}
+				union[fp] = set
+			}
+			for _, k := range ks {
+				set[k] = struct{}{}
+			}
+		}
+	}
+	out := make(map[uint64][]string, len(union))
+	for fp, set := range union {
+		ks := make([]string, 0, len(set))
+		for k := range set {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		out[fp] = ks
+	}
+	return out
+}
+
 // Sketches returns the merged cross-shard sketch view as a deep clone (nil
 // when the layer is disabled). HLL registers union exactly; SpaceSaving merges
 // in shard-index order (deterministic, and sound: merged counts still bracket

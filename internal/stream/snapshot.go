@@ -69,6 +69,9 @@ type TemplateSnapshot struct {
 	Skeleton    string   `json:"skeleton"`
 	Count       int      `json:"count"`
 	Users       []string `json:"users"`
+	// Kinds are the antipattern kinds attributed to the template so far
+	// (absent in snapshots written before verdict tracking existed).
+	Kinds []string `json:"kinds,omitempty"`
 }
 
 // ProcessorSnapshot is the full serializable state of one Processor.
@@ -124,8 +127,13 @@ func (p *Processor) Snapshot() ProcessorSnapshot {
 			users = append(users, u)
 		}
 		sort.Strings(users)
+		var kinds []string
+		for k := range a.kinds {
+			kinds = append(kinds, string(k))
+		}
+		sort.Strings(kinds)
 		s.Templates = append(s.Templates, TemplateSnapshot{
-			Fingerprint: fp, Skeleton: a.skeleton, Count: a.count, Users: users,
+			Fingerprint: fp, Skeleton: a.skeleton, Count: a.count, Users: users, Kinds: kinds,
 		})
 	}
 	sort.Slice(s.Templates, func(i, j int) bool { return s.Templates[i].Fingerprint < s.Templates[j].Fingerprint })
@@ -172,6 +180,12 @@ func (p *Processor) Restore(s ProcessorSnapshot) error {
 		a := &templateAgg{skeleton: t.Skeleton, count: t.Count, users: make(map[string]struct{}, len(t.Users))}
 		for _, u := range t.Users {
 			a.users[u] = struct{}{}
+		}
+		if len(t.Kinds) > 0 {
+			a.kinds = make(map[antipattern.Kind]struct{}, len(t.Kinds))
+			for _, k := range t.Kinds {
+				a.kinds[antipattern.Kind(k)] = struct{}{}
+			}
 		}
 		p.templateAgg[t.Fingerprint] = a
 	}

@@ -171,6 +171,10 @@ type templateAgg struct {
 	skeleton string
 	count    int
 	users    map[string]struct{}
+	// kinds are the antipattern kinds ever attributed to this template by a
+	// detected instance (nil until the first attribution). This is the
+	// long-horizon verdict the retention store stamps into compacted blocks.
+	kinds map[antipattern.Kind]struct{}
 }
 
 // New returns a streaming processor.
@@ -385,6 +389,18 @@ func (p *Processor) closeSession(os *openSession) logmodel.Log {
 	}
 	for _, in := range instances {
 		p.stats.Antipatterns[in.Kind]++
+		// Attribute the verdict to every member query's template.
+		for _, idx := range in.Indices {
+			if idx < 0 || idx >= len(os.entries) || os.entries[idx].Info == nil {
+				continue
+			}
+			if a := p.templateAgg[os.entries[idx].Info.Fingerprint]; a != nil {
+				if a.kinds == nil {
+					a.kinds = map[antipattern.Kind]struct{}{}
+				}
+				a.kinds[in.Kind] = struct{}{}
+			}
+		}
 	}
 	p.met.instances.Add(int64(len(instances)))
 	res := rewrite.Apply(os.entries, instances, p.solvers)
@@ -435,6 +451,25 @@ func (p *Processor) Templates() []pattern.TemplateStats {
 		}
 		return out[i].Skeleton < out[j].Skeleton
 	})
+	return out
+}
+
+// TemplateKinds returns, for every template with at least one detected
+// antipattern instance, the sorted kind names attributed to it. Templates
+// never seen inside an instance are absent.
+func (p *Processor) TemplateKinds() map[uint64][]string {
+	out := map[uint64][]string{}
+	for fp, a := range p.templateAgg {
+		if len(a.kinds) == 0 {
+			continue
+		}
+		ks := make([]string, 0, len(a.kinds))
+		for k := range a.kinds {
+			ks = append(ks, string(k))
+		}
+		sort.Strings(ks)
+		out[fp] = ks
+	}
 	return out
 }
 

@@ -44,6 +44,51 @@ func TestStreamMergesStifleRun(t *testing.T) {
 	}
 }
 
+func TestStreamTemplateKinds(t *testing.T) {
+	base := time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC)
+	p := New(Config{})
+	stifled := "SELECT name FROM Employees WHERE id = %d"
+	for i := 0; i < 3; i++ {
+		if _, err := p.Add(logmodel.Entry{Time: base.Add(time.Duration(i) * time.Second), User: "u",
+			Statement: fmt.Sprintf(stifled, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An innocent template from another user: must stay verdict-free.
+	if _, err := p.Add(logmodel.Entry{Time: base, User: "v",
+		Statement: "SELECT top 5 name FROM Employees"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.TemplateKinds(); len(got) != 0 {
+		t.Fatalf("verdicts before any session closed: %v", got)
+	}
+	p.Close()
+
+	kinds := p.TemplateKinds()
+	var stifleFP uint64
+	for _, ts := range p.Templates() {
+		if ts.Frequency == 3 {
+			stifleFP = ts.Fingerprint
+		}
+	}
+	if got := kinds[stifleFP]; len(got) != 1 || got[0] != string(antipattern.DWStifle) {
+		t.Fatalf("stifled template kinds = %v, want [%s] (all: %v)", got, antipattern.DWStifle, kinds)
+	}
+	if len(kinds) != 1 {
+		t.Fatalf("innocent template got a verdict: %v", kinds)
+	}
+
+	// Verdicts survive a snapshot/restore round trip.
+	p2 := New(Config{})
+	if err := p2.Restore(p.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	kinds2 := p2.TemplateKinds()
+	if len(kinds2) != 1 || len(kinds2[stifleFP]) != 1 || kinds2[stifleFP][0] != string(antipattern.DWStifle) {
+		t.Fatalf("restored kinds = %v", kinds2)
+	}
+}
+
 func TestStreamSessionClosesOnGap(t *testing.T) {
 	base := time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC)
 	p := New(Config{})
