@@ -11,7 +11,7 @@ LDFLAGS  = -X sqlclean/internal/buildinfo.Version=$(VERSION) \
 # The benchmarks of record (see `bench` below).
 BENCH_REGEX = BenchmarkParseParallel|BenchmarkPipelineParallel|BenchmarkPipelineSeedSerial|BenchmarkDedupSharded|BenchmarkStreamSharded|BenchmarkSketchIngest|BenchmarkClusterBoxes|BenchmarkColstore
 
-.PHONY: check build binaries test race bench bench-json bench-compare profile vet smoke
+.PHONY: check build binaries test race bench bench-json bench-compare bench-ingest bench-ingest-compare profile vet smoke
 
 # Default: everything the CI gate runs.
 check: vet test race
@@ -50,6 +50,18 @@ BENCH_COMPARE_TIME ?= 1x
 bench-compare:
 	$(GO) test -bench '$(BENCH_REGEX)' -benchmem -benchtime $(BENCH_COMPARE_TIME) -run '^$$' . \
 	  | $(GO) run ./cmd/benchjson -compare BENCH_pipeline.json -threshold 25 -warn-only
+
+# Ingest benchmark of record: closed-loop replay (32 clients, unthrottled)
+# against a crash-durable daemon at -fsync always. Snapshots throughput,
+# latency percentiles, drain time and the group-commit fsync amortization
+# into BENCH_ingest.json; commit it to track the ingest hot path per PR.
+bench-ingest: binaries
+	./scripts/bench_ingest.sh
+
+# Warn-only ingest perf gate: rerun the replay and diff against the
+# committed BENCH_ingest.json via benchjson -compare.
+bench-ingest-compare: binaries
+	COMPARE=1 ./scripts/bench_ingest.sh
 
 # CPU + allocation profiles of the pipeline benchmark on the seed workload.
 # Inspect with: go tool pprof -top profiles/cpu.prof

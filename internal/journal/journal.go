@@ -38,6 +38,7 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -125,6 +126,10 @@ type segment struct {
 	path  string
 }
 
+// groupCommitBuckets are the histogram bounds for frames-per-fsync: the
+// coalescing factor of the cross-request group commit.
+var groupCommitBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}
+
 // Writer appends frames to the journal. Safe for concurrent use; Append
 // assigns LSNs under the writer's lock, so journal order is LSN order.
 type Writer struct {
@@ -141,12 +146,32 @@ type Writer struct {
 	closed   bool
 	stop     chan struct{} // background syncer (FsyncInterval only)
 	syncWG   sync.WaitGroup
+	// encBuf is the AppendBatch entry-encoding scratch, reused across frames
+	// and batches (guarded by mu): the accept path pays zero payload
+	// allocations in steady state. hdr is the frame-header scratch — a local
+	// array would escape (bufio.Writer.Write leaks its argument), costing one
+	// allocation per frame.
+	encBuf []byte
+	hdr    [frameHeader]byte
+
+	// Group-commit state (guarded by gcMu, which is only ever taken while
+	// holding mu or while holding neither — mu → gcMu is the lock order).
+	// syncedLSN is the highest LSN a completed fsync covers; syncing marks a
+	// leader's fsync in flight. Commit callers under FsyncAlways wait on
+	// gcCond until a sync — theirs or another caller's — covers their frames,
+	// so concurrent commits share one fsync instead of issuing one each.
+	gcMu      sync.Mutex
+	gcCond    *sync.Cond
+	syncedLSN uint64
+	syncing   bool
 
 	mAppends   *obs.Counter
 	mBytes     *obs.Counter
 	mRotations *obs.Counter
+	mCommits   *obs.Counter
 	gSegments  *obs.Gauge
 	hFsync     *obs.Histogram
+	hGroup     *obs.Histogram
 }
 
 // Open creates or reopens a journal directory for appending. A torn final
@@ -172,9 +197,12 @@ func Open(opt Options) (*Writer, error) {
 		mAppends:   opt.Metrics.Counter("journal_appends_total"),
 		mBytes:     opt.Metrics.Counter("journal_bytes_total"),
 		mRotations: opt.Metrics.Counter("journal_rotations_total"),
+		mCommits:   opt.Metrics.Counter("journal_commits_total"),
 		gSegments:  opt.Metrics.Gauge("journal_segments"),
 		hFsync:     opt.Metrics.Histogram("journal_fsync_ns", obs.DurationBucketsNS),
+		hGroup:     opt.Metrics.Histogram("journal_group_commit_entries", groupCommitBuckets),
 	}
+	w.gcCond = sync.NewCond(&w.gcMu)
 	// Find the journal's last valid LSN (frames are LSN-ordered, so the last
 	// valid frame of the last segment carries it) and truncate any torn tail.
 	for i := len(segs) - 1; i >= 0; i-- {
@@ -211,6 +239,8 @@ func Open(opt Options) (*Writer, error) {
 			break
 		}
 	}
+	// Everything recovered from disk needs no fsync from us.
+	w.syncedLSN = w.lastLSN
 	w.gSegments.Set(int64(len(w.segs)))
 	if w.opt.Policy == FsyncInterval {
 		w.syncWG.Add(1)
@@ -235,13 +265,19 @@ func (w *Writer) Append(payload []byte) (uint64, error) {
 	if w.closed {
 		return 0, errors.New("journal: writer closed")
 	}
+	return w.appendFrameLocked(payload)
+}
+
+// appendFrameLocked frames one payload into the buffered writer, rotating
+// first when the segment is full. Caller holds mu and has checked closed.
+func (w *Writer) appendFrameLocked(payload []byte) (uint64, error) {
 	lsn := w.lastLSN + 1
 	if w.f == nil || (w.size > 0 && w.size+frameHeader+int64(len(payload)) > w.opt.SegmentBytes) {
 		if err := w.rotateLocked(lsn); err != nil {
 			return 0, err
 		}
 	}
-	var hdr [frameHeader]byte
+	hdr := &w.hdr
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint64(hdr[8:16], lsn)
 	crc := crc32.Update(0, castagnoli, hdr[8:16])
@@ -263,24 +299,146 @@ func (w *Writer) Append(payload []byte) (uint64, error) {
 
 // Commit makes every appended frame crash-durable for a killed process
 // (flush to the OS) and, per the fsync policy, for a killed machine.
+//
+// Under FsyncAlways, concurrent commits group-commit: the caller flushes its
+// frames under the writer's lock, releases it, and then waits until a
+// completed fsync covers its last frame. One caller — the leader — performs
+// the fsync for everyone whose frames were flushed by then; the rest return
+// as soon as that sync covers their LSN. 32 concurrent clients therefore
+// share a handful of fsyncs instead of issuing 32, without weakening the
+// guarantee: Commit still never returns before the caller's frames are
+// durable.
 func (w *Writer) Commit() error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.closed || w.f == nil {
+		w.mu.Unlock()
 		return nil
 	}
+	w.mCommits.Inc()
 	if err := w.bw.Flush(); err != nil {
+		w.mu.Unlock()
 		return err
 	}
+	target := w.lastLSN
 	switch w.opt.Policy {
 	case FsyncAlways:
-		return w.fsyncLocked()
+		w.mu.Unlock()
+		return w.syncTo(target)
 	case FsyncInterval:
 		if time.Since(w.lastSync) >= w.opt.Interval {
-			return w.fsyncLocked()
+			err := w.fsyncLocked()
+			w.mu.Unlock()
+			return err
 		}
 	}
+	w.mu.Unlock()
 	return nil
+}
+
+// syncTo blocks until a completed fsync covers target. At most one caller at
+// a time — the leader — performs the fsync; followers wait on the
+// group-commit condition until the leader's sync satisfies them.
+func (w *Writer) syncTo(target uint64) error {
+	w.gcMu.Lock()
+	for {
+		if w.syncedLSN >= target {
+			w.gcMu.Unlock()
+			return nil
+		}
+		if w.syncing {
+			// A leader's fsync is in flight; it may or may not cover our
+			// frames (they could have been appended after it captured the
+			// file). Wait and re-check.
+			w.gcCond.Wait()
+			continue
+		}
+		w.syncing = true
+		w.gcMu.Unlock()
+
+		// Commit-window yield before capturing the flush horizon: runnable
+		// committers get one scheduler pass to append and flush their frames,
+		// so the fsync below covers them too (the same idea as PostgreSQL's
+		// commit_delay, paid in one Gosched instead of a timed sleep — free
+		// when nothing else is runnable). Matters most when cores are scarce:
+		// followers otherwise never reach the wait queue before a fast fsync
+		// completes, and every commit ends up fsyncing alone.
+		runtime.Gosched()
+
+		// Flush under mu, then fsync WITHOUT mu: while the leader's fsync
+		// is in flight, other callers keep appending and flushing frames,
+		// so the next leader's single fsync covers that whole window of
+		// commits. Holding mu across the fsync would serialize appends
+		// behind the disk and defeat the coalescing.
+		w.mu.Lock()
+		var err error
+		closed := w.closed || w.f == nil
+		var f *os.File
+		var covered uint64
+		doSync := false
+		if !closed {
+			if err = w.bw.Flush(); err == nil {
+				f = w.f
+				covered = w.lastLSN
+				doSync = w.dirty
+				// Claim the flushed tail: frames appended after this point
+				// re-dirty the writer and wait for the next leader.
+				w.dirty = false
+			}
+		}
+		w.mu.Unlock()
+
+		observe := false // covered came from a commit-path fsync
+		advance := false // raise the horizon to covered
+		if err == nil && !closed {
+			if doSync {
+				start := time.Now()
+				if serr := f.Sync(); serr != nil {
+					// A rotation seal or Close may have fsynced and closed
+					// this segment while we held no lock; their unconditional
+					// sync already made every flushed frame durable. Anything
+					// else is a real fsync failure: re-dirty so the next
+					// leader retries, and report it.
+					w.mu.Lock()
+					superseded := w.f != f || w.closed
+					if !superseded {
+						w.dirty = true
+						err = serr
+					}
+					w.mu.Unlock()
+					advance = superseded
+				} else {
+					w.hFsync.Observe(int64(time.Since(start)))
+					advance, observe = true, true
+				}
+			} else {
+				// Nothing unsynced: a previous fsync or a rotation seal
+				// already covered the flushed tail.
+				advance = true
+			}
+		}
+
+		// Horizon advance and leadership release under one lock, with ONE
+		// broadcast: satisfied followers return, unsatisfied ones race for
+		// the next leadership. A separate advanceSynced would broadcast
+		// twice and wake every waiter an extra time per fsync.
+		w.gcMu.Lock()
+		w.syncing = false
+		if advance && covered > w.syncedLSN {
+			if observe {
+				w.hGroup.Observe(int64(covered - w.syncedLSN))
+			}
+			w.syncedLSN = covered
+		}
+		w.gcCond.Broadcast()
+		if err != nil || closed {
+			// Closed mirrors Commit's closed-writer contract (Close already
+			// flushed and synced everything it could).
+			w.gcMu.Unlock()
+			return err
+		}
+		// Loop: the completed sync advanced syncedLSN to covered, which
+		// includes target (we flushed it before calling syncTo).
+	}
 }
 
 // Sync flushes and fsyncs regardless of policy.
@@ -296,18 +454,41 @@ func (w *Writer) Sync() error {
 	return w.fsyncLocked()
 }
 
+// fsyncLocked syncs the current segment (callers flush first, so every
+// appended frame is on its way to the file) and advances the group-commit
+// horizon to the last flushed LSN. Caller holds mu.
 func (w *Writer) fsyncLocked() error {
-	if !w.dirty {
+	if w.dirty {
+		start := time.Now()
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		w.hFsync.Observe(int64(time.Since(start)))
+		w.dirty = false
+		w.lastSync = time.Now()
+		w.advanceSynced(w.lastLSN, true)
 		return nil
 	}
-	start := time.Now()
-	if err := w.f.Sync(); err != nil {
-		return err
-	}
-	w.hFsync.Observe(int64(time.Since(start)))
-	w.dirty = false
-	w.lastSync = time.Now()
+	// Nothing unsynced: everything flushed is already durable (a previous
+	// fsync, or a rotation's seal covered it), so the horizon still advances.
+	w.advanceSynced(w.lastLSN, false)
 	return nil
+}
+
+// advanceSynced raises the group-commit horizon and wakes commit waiters.
+// observe=true marks a commit-path fsync, whose coalesced frame count feeds
+// the journal_group_commit_entries histogram. Caller must not hold gcMu
+// (mu is irrelevant here: the horizon is guarded by gcMu alone).
+func (w *Writer) advanceSynced(lsn uint64, observe bool) {
+	w.gcMu.Lock()
+	if lsn > w.syncedLSN {
+		if observe {
+			w.hGroup.Observe(int64(lsn - w.syncedLSN))
+		}
+		w.syncedLSN = lsn
+		w.gcCond.Broadcast()
+	}
+	w.gcMu.Unlock()
 }
 
 // backgroundSync bounds the unsynced tail under FsyncInterval even when no
@@ -352,6 +533,10 @@ func (w *Writer) rotateLocked(lsn uint64) error {
 			return err
 		}
 		w.dirty = false
+		// The seal's sync made every flushed frame durable; commit waiters
+		// covered by it need no further fsync. (Not observed in the
+		// group-commit histogram — that tracks commit-path fsyncs only.)
+		w.advanceSynced(w.lastLSN, false)
 		w.mRotations.Inc()
 	}
 	path := filepath.Join(w.opt.Dir, segName(lsn))
@@ -450,10 +635,12 @@ func (w *Writer) Close() error {
 		if ferr := w.bw.Flush(); ferr != nil {
 			err = ferr
 		}
-		if w.dirty {
-			if serr := w.f.Sync(); serr != nil && err == nil {
-				err = serr
-			}
+		// Sync unconditionally (not just when dirty): a group-commit leader
+		// fsyncing without mu may have claimed the dirty flag without having
+		// completed — or succeeded in — its fsync yet. One extra no-op fsync
+		// at close is cheaper than reasoning about that race.
+		if serr := w.f.Sync(); serr != nil && err == nil {
+			err = serr
 		}
 		if cerr := w.f.Close(); cerr != nil && err == nil {
 			err = cerr

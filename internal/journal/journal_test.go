@@ -1,10 +1,12 @@
 package journal
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -240,6 +242,185 @@ func TestFsyncPolicies(t *testing.T) {
 	}
 	if p, err := ParseFsyncPolicy("always"); err != nil || p != FsyncAlways {
 		t.Errorf("ParseFsyncPolicy(always) = %v, %v", p, err)
+	}
+}
+
+// TestGroupCommitCoalesces pins the leader/follower protocol in its most
+// deterministic configuration: all frames are appended first, then many
+// commits race. Every caller targets the same LSN, so exactly one becomes the
+// leader and fsyncs once; the rest are satisfied by that sync. The group
+// histogram must record a single commit-path fsync covering all frames.
+func TestGroupCommitCoalesces(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	w, err := Open(Options{Dir: dir, Policy: FsyncAlways, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames, commits = 100, 10
+	for i := 0; i < frames; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("gc-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, commits)
+	for i := 0; i < commits; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.Commit()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["journal_commits_total"]; got != commits {
+		t.Errorf("journal_commits_total = %d, want %d", got, commits)
+	}
+	if fs := snap.Histograms["journal_fsync_ns"]; fs.Count != 1 {
+		t.Errorf("fsyncs = %d, want 1 (group commit should coalesce)", fs.Count)
+	}
+	gc := snap.Histograms["journal_group_commit_entries"]
+	if gc.Count != 1 || gc.Sum != frames {
+		t.Errorf("group histogram count=%d sum=%d, want 1 fsync covering %d frames", gc.Count, gc.Sum, frames)
+	}
+	w.Close()
+}
+
+// TestGroupCommitConcurrentAppendCommit hammers the realistic shape — each
+// goroutine appends its own frame then commits, like concurrent ingest
+// requests — and pins the durability contract (every committed frame replays)
+// plus the coalescing direction (never more fsyncs than commits).
+func TestGroupCommitConcurrentAppendCommit(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	w, err := Open(Options{Dir: dir, Policy: FsyncAlways, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 16, 25
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := w.Append([]byte(fmt.Sprintf("w%02d-%04d", g, i))); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := w.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, res := replayAll(t, dir, 0)
+	if len(got) != writers*perWriter || res.Torn {
+		t.Fatalf("replayed %d frames (want %d), torn=%v", len(got), writers*perWriter, res.Torn)
+	}
+	snap := reg.Snapshot()
+	fsyncs := snap.Histograms["journal_fsync_ns"].Count
+	commits := snap.Counters["journal_commits_total"]
+	if fsyncs > commits {
+		t.Errorf("%d fsyncs for %d commits: group commit made things worse", fsyncs, commits)
+	}
+	t.Logf("coalescing: %d commits → %d fsyncs", commits, fsyncs)
+}
+
+// TestAppendBatchMatchesPerEntryAppend pins byte-identical journal output:
+// the batched, scratch-buffer encode path must produce exactly the segment
+// bytes the per-entry Append(EncodeEntry(nil, e)) path does.
+func TestAppendBatchMatchesPerEntryAppend(t *testing.T) {
+	entries := make([]logmodel.Entry, 50)
+	for i := range entries {
+		entries[i] = logmodel.Entry{
+			Seq:       int64(i),
+			Time:      time.Date(2004, 3, 1, 0, 0, i, i, time.UTC),
+			User:      fmt.Sprintf("user-%d", i%7),
+			Session:   fmt.Sprintf("sess-%d", i%3),
+			Rows:      int64(i * 11),
+			Statement: fmt.Sprintf("SELECT %d FROM photoobj -- pad %s", i, string(rune('a'+i%26))),
+		}
+	}
+
+	dirA, dirB := t.TempDir(), t.TempDir()
+	wa, err := Open(Options{Dir: dirA, Policy: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if _, err := wa.Append(EncodeEntry(nil, e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wa.Close()
+
+	wb, err := Open(Options{Dir: dirB, Policy: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split across three calls to exercise scratch reuse between batches.
+	for _, chunk := range [][]logmodel.Entry{entries[:20], entries[20:21], entries[21:]} {
+		n, last, err := wb.AppendBatch(chunk)
+		if err != nil || n != len(chunk) {
+			t.Fatalf("AppendBatch: n=%d err=%v", n, err)
+		}
+		if last != wb.LastLSN() {
+			t.Fatalf("AppendBatch lastLSN=%d, writer says %d", last, wb.LastLSN())
+		}
+	}
+	wb.Close()
+
+	segsA, _ := listSegments(dirA)
+	segsB, _ := listSegments(dirB)
+	if len(segsA) != 1 || len(segsB) != 1 {
+		t.Fatalf("segments: %d vs %d, want 1 each", len(segsA), len(segsB))
+	}
+	a, _ := os.ReadFile(segsA[0].path)
+	b, _ := os.ReadFile(segsB[0].path)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("batched journal bytes differ from per-entry bytes (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestAppendBatchAllocFree pins the tentpole's allocation claim: once the
+// scratch buffer has grown, AppendBatch performs zero allocations per call.
+func TestAppendBatchAllocFree(t *testing.T) {
+	w, err := Open(Options{Dir: t.TempDir(), Policy: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	batch := make([]logmodel.Entry, 8)
+	for i := range batch {
+		batch[i] = logmodel.Entry{
+			Seq: int64(i), Time: time.Unix(1060000000+int64(i), 0).UTC(),
+			User: "u", Session: "s", Rows: 3,
+			Statement: "SELECT ra, dec FROM photoobj WHERE obj_id = 12345",
+		}
+	}
+	// Warm up: grows encBuf and the bufio writer path.
+	if _, _, err := w.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := w.AppendBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("AppendBatch allocs/op = %v, want 0", allocs)
 	}
 }
 

@@ -25,6 +25,37 @@ func EncodeEntry(dst []byte, e logmodel.Entry) []byte {
 	return dst
 }
 
+// AppendBatch frames a batch of entries — one frame per entry, identical to
+// Append(EncodeEntry(nil, e)) for each — under a single lock acquisition,
+// encoding into the writer's reused scratch buffer so the accept path pays no
+// per-entry payload allocation. Frames are buffered like Append's; call
+// Commit before acknowledging them.
+//
+// On an I/O error mid-batch it returns how many leading entries were framed:
+// the journal holds exactly that prefix, so the caller can acknowledge it and
+// refuse the rest. The last framed LSN is returned for batch bookkeeping
+// (meaningful when appended > 0).
+func (w *Writer) AppendBatch(entries []logmodel.Entry) (appended int, lastLSN uint64, err error) {
+	if len(entries) == 0 {
+		return 0, 0, nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, 0, errors.New("journal: writer closed")
+	}
+	for _, e := range entries {
+		w.encBuf = EncodeEntry(w.encBuf[:0], e)
+		lsn, err := w.appendFrameLocked(w.encBuf)
+		if err != nil {
+			return appended, lastLSN, err
+		}
+		appended++
+		lastLSN = lsn
+	}
+	return appended, lastLSN, nil
+}
+
 // DecodeEntry parses a payload written by EncodeEntry.
 func DecodeEntry(data []byte) (logmodel.Entry, error) {
 	var e logmodel.Entry

@@ -32,6 +32,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -158,10 +159,14 @@ type Server struct {
 	log    *slog.Logger
 	reqlog *obs.RequestLog
 	eng    *stream.Sharded
-	queues []chan queued
+	// queues carry batches: one request's entries for one shard travel as a
+	// single []queued — one channel send, one drain receive, one journal
+	// AppendBatch per (request, shard) instead of one of each per entry.
+	queues []chan []queued
 	// qMu serializes same-shard enqueues so that, with a journal, a shard's
 	// frame order in the WAL equals its queue order — the invariant that
-	// makes a replay apply entries exactly as the crashed run did.
+	// makes a replay apply entries exactly as the crashed run did. A batch
+	// flush touching several shards locks them in ascending index order.
 	qMu []sync.Mutex
 
 	drainWG  sync.WaitGroup // drain goroutines
@@ -290,11 +295,15 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	s.queues = make([]chan queued, s.eng.NumShards())
+	s.queues = make([]chan []queued, s.eng.NumShards())
 	s.qMu = make([]sync.Mutex, len(s.queues))
 	s.qDepthShard = make([]*obs.Gauge, len(s.queues))
 	for i := range s.queues {
-		s.queues[i] = make(chan queued, cfg.QueueSize)
+		// Capacity QueueSize is in batches, but admission bounds the shard's
+		// queued entries to QueueSize and every batch holds at least one
+		// entry, so batches in flight can never exceed the capacity either —
+		// the dispatch-side send is provably non-blocking.
+		s.queues[i] = make(chan []queued, cfg.QueueSize)
 		s.qDepthShard[i] = cfg.Metrics.Gauge(fmt.Sprintf("ingest_queue_depth_shard%03d", i))
 		s.drainWG.Add(1)
 		go s.drain(i)
@@ -321,34 +330,44 @@ type queued struct {
 }
 
 // drain is shard i's single consumer: it preserves per-user ordering and
-// feeds the shard processor, emitting cleaned sessions as they close.
+// feeds the shard processor, emitting cleaned sessions as they close. It
+// receives whole batches but applies them entry by entry through the
+// engine's faithful batch loop, so ordering, watermark and sweep semantics
+// are exactly those of per-entry dispatch.
 func (s *Server) drain(i int) {
 	defer s.drainWG.Done()
-	for q := range s.queues[i] {
-		s.qDepth.Add(-1)
-		s.qDepthShard[i].Add(-1)
-		out, err := s.eng.AddShard(i, q.e)
-		if err != nil {
-			switch {
-			case errors.Is(err, stream.ErrFutureSkew):
-				// Corrupted far-future timestamp: the watermark guard
-				// refused it before it could poison every shard's sessions.
-				s.mRejectedSkew.Inc()
-			default:
-				// Out-of-order beyond the session gap: the engine's ordering
-				// contract rejects it. Counted, never fatal to the stream.
-				s.mRejectedOrder.Inc()
-			}
-			q.tr.DonePending("emit")
-			s.pending.Add(-1)
-			continue
+	var entries []logmodel.Entry // per-batch scratch, reused
+	for batch := range s.queues[i] {
+		// The whole batch leaves the queue at once. Admission reads these
+		// gauges as its capacity budget, so they drop at receive time — the
+		// batched analogue of the per-entry path's receive-time decrement.
+		s.qDepth.Add(-int64(len(batch)))
+		s.qDepthShard[i].Add(-int64(len(batch)))
+		entries = entries[:0]
+		for _, q := range batch {
+			entries = append(entries, q.e)
 		}
-		s.emit(out)
-		// Applied (and emitted): only now may a snapshot consider this
-		// entry covered. Decremented after emit so a quiescence wait also
-		// proves the Emit callback is idle.
-		q.tr.DonePending("emit")
-		s.pending.Add(-1)
+		s.eng.AddShardBatch(i, entries, func(k int, out logmodel.Log, err error) {
+			if err != nil {
+				switch {
+				case errors.Is(err, stream.ErrFutureSkew):
+					// Corrupted far-future timestamp: the watermark guard
+					// refused it before it could poison every shard's sessions.
+					s.mRejectedSkew.Inc()
+				default:
+					// Out-of-order beyond the session gap: the engine's ordering
+					// contract rejects it. Counted, never fatal to the stream.
+					s.mRejectedOrder.Inc()
+				}
+			} else {
+				s.emit(out)
+			}
+			// Applied (and emitted): only now may a snapshot consider this
+			// entry covered. Decremented after emit so a quiescence wait also
+			// proves the Emit callback is idle.
+			batch[k].tr.DonePending("emit")
+			s.pending.Add(-1)
+		})
 	}
 }
 
@@ -480,48 +499,197 @@ func (w wireEntry) entry() (logmodel.Entry, error) {
 var errQueueFull = errors.New("ingest queue full")
 
 // errJournal aborts an ingest scan when the write-ahead journal rejects an
-// append (disk full, I/O error): the entry is already queued and will be
-// processed, but it cannot be made durable, so the request must not be
-// acknowledged as accepted.
+// append (disk full, I/O error): the entries framed before the failure are
+// queued and acknowledged, everything after it is dropped — the journal and
+// the queues always agree on the accepted prefix.
 var errJournal = errors.New("journal append failed")
 
-// enqueue routes one entry; it never blocks. Accepted entries are framed
-// into the journal before enqueue returns, so by the time the HTTP response
-// acknowledges them (handleIngest commits the journal first) they are
-// crash-durable.
-func (s *Server) enqueue(e logmodel.Entry, tr *obs.ReqTrace) error {
-	e.Seq = s.seq.Add(1) - 1
-	i := s.eng.ShardFor(e.User)
+// flushEvery bounds a request's staging buffer: decoded entries are
+// dispatched to the shards (and the journal) in chunks of at most this many,
+// so one huge request body cannot defer admission-control or durability
+// decisions indefinitely.
+const flushEvery = 512
+
+// stagedEntry is one decoded ingest line waiting for batch dispatch.
+type stagedEntry struct {
+	e     logmodel.Entry
+	shard int
+	line  int // 1-based input line, for failure reporting
+}
+
+// stager accumulates one request's decoded entries and dispatches them in
+// per-shard batches: one qMu acquisition, one journal AppendBatch, one
+// channel send and one set of pending/qDepth updates per (flush, shard),
+// instead of one of each per entry.
+type stager struct {
+	s        *Server
+	tr       *obs.ReqTrace
+	buf      []stagedEntry
+	accepted int // entries dispatched and journaled across all flushes
+	failLine int // input line of the first rejected entry (0 = none)
+
+	// Per-shard scratch, reused across flushes.
+	room    []int            // remaining queue capacity during a flush
+	count   []int            // entries bound for each shard in this flush
+	entries []logmodel.Entry // journal batch, in input order
+	touched []int            // shard indexes this flush uses, ascending
+}
+
+func newStager(s *Server, tr *obs.ReqTrace) *stager {
+	n := len(s.queues)
+	return &stager{
+		s: s, tr: tr,
+		buf:     make([]stagedEntry, 0, flushEvery),
+		room:    make([]int, n),
+		count:   make([]int, n),
+		entries: make([]logmodel.Entry, 0, flushEvery),
+	}
+}
+
+// add stages one decoded entry, flushing when the chunk is full.
+func (st *stager) add(e logmodel.Entry, line int) error {
+	st.buf = append(st.buf, stagedEntry{e: e, shard: st.s.eng.ShardFor(e.User), line: line})
+	if len(st.buf) >= flushEvery {
+		return st.flush()
+	}
+	return nil
+}
+
+// finish flushes whatever remains staged at the end of the scan.
+func (st *stager) finish() error { return st.flush() }
+
+// flush dispatches the staged chunk. Under the snapshot freeze and the
+// touched shards' locks (ascending order — the only multi-lock path, so no
+// ordering cycle exists) it:
+//
+//  1. computes each shard's remaining capacity from the depth gauge and
+//     finds the global cut: the first staged entry, in input order, whose
+//     shard has no room (everything before it is admitted — prefix-exact
+//     429 accounting across shards);
+//  2. assigns the admitted prefix its seq numbers with one atomic add;
+//  3. frames the prefix into the journal with one AppendBatch call (an I/O
+//     error shortens the prefix to what the journal actually holds);
+//  4. sends each shard its batch — one send, one AddPending, one set of
+//     gauge updates per shard.
+//
+// Journal-before-queue: an entry is only ever dispatched after its frame is
+// buffered in the WAL, so queue order equals WAL order per shard and a
+// replayed journal re-applies exactly what the queues saw.
+func (st *stager) flush() error {
+	n := len(st.buf)
+	if n == 0 {
+		return nil
+	}
+	s := st.s
+	defer func() { st.buf = st.buf[:0] }()
+
+	st.touched = st.touched[:0]
+	for k := range st.buf {
+		i := st.buf[k].shard
+		if st.count[i] == 0 {
+			st.touched = append(st.touched, i)
+		}
+		st.count[i]++
+	}
+	sort.Ints(st.touched)
+
 	// Read side of the snapshot freeze: while a checkpoint captures engine
 	// state, no new entry may slip past the recorded journal position.
 	s.enqMu.RLock()
 	defer s.enqMu.RUnlock()
-	s.qMu[i].Lock()
-	defer s.qMu[i].Unlock()
-	// Register the async completion before the send: the drain may apply the
-	// entry the instant it lands, and its DonePending must not race the
-	// counter to zero ahead of this registration.
-	tr.AddPending(1)
-	select {
-	case s.queues[i] <- queued{e: e, tr: tr}:
-	default:
-		tr.AddPending(-1) // never handed off
+	for _, i := range st.touched {
+		s.qMu[i].Lock()
+	}
+	defer func() {
+		for _, i := range st.touched {
+			s.qMu[i].Unlock()
+		}
+	}()
+
+	// The depth gauge is incremented under qMu (by flushes) and decremented
+	// by the drain at batch receive, so reading it here is conservative:
+	// never below the true queue population. room is therefore a safe
+	// admission budget.
+	for _, i := range st.touched {
+		st.room[i] = s.cfg.QueueSize - int(s.qDepthShard[i].Value())
+	}
+	cut, full := n, false
+	for k := range st.buf {
+		i := st.buf[k].shard
+		if st.room[i] <= 0 {
+			cut, full = k, true
+			break
+		}
+		st.room[i]--
+	}
+
+	journaled := cut
+	var jerr error
+	if cut > 0 {
+		base := s.seq.Add(int64(cut)) - int64(cut)
+		st.entries = st.entries[:0]
+		for k := 0; k < cut; k++ {
+			st.buf[k].e.Seq = base + int64(k)
+			st.entries = append(st.entries, st.buf[k].e)
+		}
+		if s.jw != nil {
+			p, _, err := s.jw.AppendBatch(st.entries)
+			if err != nil {
+				s.mJournalErrs.Inc()
+				journaled = p
+				jerr = fmt.Errorf("%w: %v", errJournal, err)
+			}
+		}
+		for _, i := range st.touched {
+			// count covers the whole staged chunk; when the cut (or a journal
+			// error) shortened the dispatched prefix, recount over it so no
+			// shard gets an empty — or short-capped — batch.
+			c := st.count[i]
+			if journaled < n {
+				c = 0
+				for k := 0; k < journaled; k++ {
+					if st.buf[k].shard == i {
+						c++
+					}
+				}
+			}
+			if c == 0 {
+				continue
+			}
+			batch := make([]queued, 0, c)
+			for k := 0; k < journaled; k++ {
+				if st.buf[k].shard == i {
+					batch = append(batch, queued{e: st.buf[k].e, tr: st.tr})
+				}
+			}
+			// Register the async completions before the send: the drain may
+			// apply the batch the instant it lands, and its DonePending calls
+			// must not race the counter to zero ahead of this registration.
+			// The gauges rise before the send too, so the admission budget
+			// above never under-counts a batch the drain already received.
+			st.tr.AddPending(int64(len(batch)))
+			s.pending.Add(int64(len(batch)))
+			s.qDepth.Add(int64(len(batch)))
+			s.qDepthShard[i].Add(int64(len(batch)))
+			s.queues[i] <- batch // non-blocking by construction (see New)
+		}
+		s.mAccepted.Add(int64(journaled))
+		st.accepted += journaled
+	}
+	for _, i := range st.touched {
+		st.count[i] = 0
+	}
+
+	switch {
+	case jerr != nil:
+		// The journal failure line precedes any queue-full line.
+		st.failLine = st.buf[journaled].line
+		return jerr
+	case full:
+		st.failLine = st.buf[cut].line
 		s.mRejectedFull.Inc()
 		return errQueueFull
 	}
-	if s.jw != nil {
-		if _, err := s.jw.Append(journal.EncodeEntry(nil, e)); err != nil {
-			s.mJournalErrs.Inc()
-			s.pending.Add(1)
-			s.qDepth.Add(1)
-			s.qDepthShard[i].Add(1)
-			return fmt.Errorf("%w: %v", errJournal, err)
-		}
-	}
-	s.pending.Add(1)
-	s.qDepth.Add(1)
-	s.qDepthShard[i].Add(1)
-	s.mAccepted.Inc()
 	return nil
 }
 
@@ -644,58 +812,75 @@ func (s *Server) finishTrace(tr *obs.ReqTrace, status int, outcome string, accep
 }
 
 // ingestLines scans the body line by line — constant memory per request —
-// and enqueues each entry. It stops at the first failure, returning the
-// count accepted so far and the failing 1-based input line (real line
-// numbers: blank lines the scanners skip still count, so the reported line
-// matches the client's own view of its payload).
+// staging decoded entries and dispatching them in per-shard batches. It
+// stops at the first failure, returning the count accepted so far and the
+// failing 1-based input line (real line numbers: blank lines the scanners
+// skip still count, so the reported line matches the client's own view of
+// its payload). Entries staged before a parse failure are still dispatched:
+// they were valid, and the per-entry path accepted them too. When both a
+// dispatch failure and a parse failure occur, the dispatch failure wins —
+// its line is always the earlier one.
 func (s *Server) ingestLines(body io.Reader, format string, tr *obs.ReqTrace) (accepted, line int, err error) {
+	st := newStager(s, tr)
+	var scanErr error
+	badLine := 0
 	if format == "tsv" {
 		lastLine := 0
-		err = logmodel.ScanTSVLines(body, func(lineNo int, e logmodel.Entry) error {
+		scanErr = logmodel.ScanTSVLines(body, func(lineNo int, e logmodel.Entry) error {
 			lastLine = lineNo
-			if qerr := s.enqueue(e, tr); qerr != nil {
-				return qerr
-			}
-			accepted++
-			return nil
+			return st.add(e, lineNo)
 		})
-		if err != nil {
+		if scanErr != nil {
 			var le *logmodel.LineError
-			if errors.As(err, &le) {
-				return accepted, le.Line, err
+			switch {
+			case errors.As(scanErr, &le):
+				badLine = le.Line
+			case errors.Is(scanErr, errQueueFull) || errors.Is(scanErr, errJournal):
+				badLine = st.failLine
+			default:
+				badLine = lastLine + 1
 			}
-			if errors.Is(err, errQueueFull) || errors.Is(err, errJournal) {
-				return accepted, lastLine, err
+		}
+	} else {
+		sc := bufio.NewScanner(body)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+		for sc.Scan() && scanErr == nil {
+			line++
+			text := strings.TrimSpace(sc.Text())
+			if text == "" {
+				continue
 			}
-			return accepted, lastLine + 1, err
+			var we wireEntry
+			if uerr := json.Unmarshal([]byte(text), &we); uerr != nil {
+				scanErr, badLine = fmt.Errorf("line %d: %v", line, uerr), line
+				break
+			}
+			e, eerr := we.entry()
+			if eerr != nil {
+				scanErr, badLine = fmt.Errorf("line %d: %v", line, eerr), line
+				break
+			}
+			if aerr := st.add(e, line); aerr != nil {
+				scanErr, badLine = aerr, st.failLine
+				break
+			}
 		}
-		return accepted, 0, nil
+		if scanErr == nil {
+			if serr := sc.Err(); serr != nil {
+				scanErr, badLine = serr, line+1
+			}
+		}
 	}
-	sc := bufio.NewScanner(body)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
-		var we wireEntry
-		if err := json.Unmarshal([]byte(text), &we); err != nil {
-			return accepted, line, fmt.Errorf("line %d: %v", line, err)
-		}
-		e, err := we.entry()
-		if err != nil {
-			return accepted, line, fmt.Errorf("line %d: %v", line, err)
-		}
-		if err := s.enqueue(e, tr); err != nil {
-			return accepted, line, err
-		}
-		accepted++
+	flushErr := st.finish()
+	if flushErr != nil {
+		// The staged tail failed to dispatch; its line precedes any parse
+		// failure the scan hit afterwards.
+		return st.accepted, st.failLine, flushErr
 	}
-	if err := sc.Err(); err != nil {
-		return accepted, line + 1, err
+	if scanErr != nil {
+		return st.accepted, badLine, scanErr
 	}
-	return accepted, 0, nil
+	return st.accepted, 0, nil
 }
 
 // ReportPayload is the GET /report document: the incremental counterpart of

@@ -43,15 +43,22 @@ type statuszData struct {
 	IngestP95ms    float64
 	IngestP99ms    float64
 
-	HasJournal     bool
-	JournalLSN     uint64
-	SnapshotLSN    int64
-	Segments       int
-	FsyncP50us     float64
-	FsyncP99us     float64
-	SnapshotAge    time.Duration // -1 encoded as HasSnapshot=false
-	HasSnapshot    bool
-	ReplayedOnBoot int
+	HasJournal  bool
+	JournalLSN  uint64
+	SnapshotLSN int64
+	Segments    int
+	FsyncP50us  float64
+	FsyncP99us  float64
+	// Group-commit effectiveness: commits and fsyncs are counted
+	// independently, so fsyncs ÷ accepted entries (and entries per fsync)
+	// make the cross-request coalescing visible in production.
+	Commits         int64
+	Fsyncs          int64
+	FsyncsPerEntry  float64       // journal_fsync_ns count ÷ ingest_accepted_total
+	EntriesPerFsync float64       // mean of journal_group_commit_entries
+	SnapshotAge     time.Duration // -1 encoded as HasSnapshot=false
+	HasSnapshot     bool
+	ReplayedOnBoot  int
 
 	HasClusters   bool
 	DistinctBoxes int64
@@ -106,10 +113,18 @@ func (s *Server) statuszData() statuszData {
 		d.Segments = s.jw.Segments()
 		d.SnapshotLSN = s.gSnapshotLSN.Value()
 		d.ReplayedOnBoot = s.replayed
+		d.Commits = snap.Counters["journal_commits_total"]
 		if fs, ok := snap.Histograms["journal_fsync_ns"]; ok && fs.Count > 0 {
 			const us = float64(time.Microsecond)
 			d.FsyncP50us = fs.Quantile(0.50) / us
 			d.FsyncP99us = fs.Quantile(0.99) / us
+			d.Fsyncs = fs.Count
+			if d.IngestAccepted > 0 {
+				d.FsyncsPerEntry = float64(fs.Count) / float64(d.IngestAccepted)
+			}
+		}
+		if gc, ok := snap.Histograms["journal_group_commit_entries"]; ok && gc.Count > 0 {
+			d.EntriesPerFsync = float64(gc.Sum) / float64(gc.Count)
 		}
 		if ns := s.lastSnapshotNS.Load(); ns > 0 {
 			d.HasSnapshot = true
@@ -136,6 +151,7 @@ func (s *Server) statuszData() statuszData {
 var statuszTmpl = template.Must(template.New("statusz").Funcs(template.FuncMap{
 	"lag": fmtLag,
 	"f1":  func(v float64) string { return fmt.Sprintf("%.1f", v) },
+	"f3":  func(v float64) string { return fmt.Sprintf("%.3f", v) },
 	"mib": func(v int64) string { return fmt.Sprintf("%.1f MiB", float64(v)/(1<<20)) },
 }).Parse(`<!DOCTYPE html>
 <html><head><title>sqlcleand statusz</title><style>
@@ -169,6 +185,9 @@ th{background:#f5f5f5} .k{text-align:left} .warn{color:#b00}
 <tr><td class=k>snapshot LSN</td><td>{{.SnapshotLSN}}</td></tr>
 <tr><td class=k>journal segments</td><td>{{.Segments}}</td></tr>
 <tr><td class=k>fsync p50 / p99 (µs)</td><td>{{f1 .FsyncP50us}} / {{f1 .FsyncP99us}}</td></tr>
+<tr><td class=k>commits / fsyncs</td><td>{{.Commits}} / {{.Fsyncs}}</td></tr>
+<tr><td class=k>fsyncs per accepted entry</td><td>{{f3 .FsyncsPerEntry}}</td></tr>
+<tr><td class=k>entries per group-commit fsync</td><td>{{f1 .EntriesPerFsync}}</td></tr>
 <tr><td class=k>snapshot age</td><td>{{if .HasSnapshot}}{{.SnapshotAge}}{{else}}never{{end}}</td></tr>
 <tr><td class=k>replayed on boot</td><td>{{.ReplayedOnBoot}}</td></tr>
 </table>{{end}}
@@ -236,6 +255,9 @@ func writeStatuszText(w http.ResponseWriter, d statuszData) {
 		row("  snapshot lsn", "%d", d.SnapshotLSN)
 		row("  journal segments", "%d", d.Segments)
 		row("  fsync p50/p99 us", "%.1f / %.1f", d.FsyncP50us, d.FsyncP99us)
+		row("  commits / fsyncs", "%d / %d", d.Commits, d.Fsyncs)
+		row("  fsyncs per accepted entry", "%.3f", d.FsyncsPerEntry)
+		row("  entries per gc fsync", "%.1f", d.EntriesPerFsync)
 		if d.HasSnapshot {
 			row("  snapshot age", "%s", d.SnapshotAge)
 		} else {

@@ -255,6 +255,20 @@ func (s *Sharded) AddShard(i int, e logmodel.Entry) (logmodel.Log, error) {
 	return out, nil
 }
 
+// AddShardBatch applies a batch of already-routed entries to shard i in
+// order, invoking done after each with the entry's index, emitted output and
+// error. It is semantically identical to calling AddShard once per entry —
+// a faithful per-entry loop, so per-user ordering, the watermark raise, the
+// skew guard and the periodic cross-shard sweep all behave exactly as they
+// would under per-entry dispatch. Batch callers (the daemon's shard drains)
+// get one call site per queue batch without weakening any invariant.
+func (s *Sharded) AddShardBatch(i int, entries []logmodel.Entry, done func(k int, out logmodel.Log, err error)) {
+	for k := range entries {
+		out, err := s.AddShard(i, entries[k])
+		done(k, out, err)
+	}
+}
+
 func (s *Sharded) raiseWatermark(ns int64) {
 	for {
 		cur := s.watermarkNS.Load()

@@ -115,6 +115,81 @@ func TestShardedMatchesSerialStream(t *testing.T) {
 	}
 }
 
+// TestAddShardBatchMatchesAddShard pins the batch entry point's faithfulness:
+// the same stream applied per entry and in batches (of varying sizes, split
+// mid-shard) must leave two engines in identical states — stats, templates,
+// watermark, open sessions — and produce the same outputs in the same order.
+func TestAddShardBatchMatchesAddShard(t *testing.T) {
+	log, _ := workload.Generate(workload.DefaultConfig().Scale(0.2))
+	log.SortStable()
+	cfg := ShardedConfig{Shards: 4}
+
+	perEntry := NewSharded(cfg)
+	batched := NewSharded(cfg)
+
+	var outA, outB logmodel.Log
+	// Per-entry reference.
+	for _, e := range log {
+		out, err := perEntry.AddShard(perEntry.ShardFor(e.User), e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outA = append(outA, out...)
+	}
+	// Batched: feed maximal same-shard runs of the input, so the global
+	// apply order is identical to the per-entry pass and every divergence
+	// is attributable to the batch entry point itself. Runs longer than one
+	// entry exercise multi-entry batches; a multiset check would hide
+	// nothing here — order must match too.
+	batches := 0
+	for start := 0; start < len(log); {
+		i := batched.ShardFor(log[start].User)
+		end := start + 1
+		for end < len(log) && batched.ShardFor(log[end].User) == i {
+			end++
+		}
+		batched.AddShardBatch(i, log[start:end], func(k int, out logmodel.Log, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			outB = append(outB, out...)
+		})
+		if end-start > 1 {
+			batches++
+		}
+		start = end
+	}
+	if batches == 0 {
+		t.Fatal("input produced no multi-entry batches; the test lost its point")
+	}
+	outA = append(outA, perEntry.Close()...)
+	outB = append(outB, batched.Close()...)
+
+	if sa, sb := perEntry.Stats(), batched.Stats(); fmt.Sprintf("%+v", sa) != fmt.Sprintf("%+v", sb) {
+		t.Errorf("stats diverged:\nper-entry %+v\nbatched   %+v", sa, sb)
+	}
+	if wa, wb := perEntry.Watermark(), batched.Watermark(); !wa.Equal(wb) {
+		t.Errorf("watermark diverged: per-entry %v, batched %v", wa, wb)
+	}
+	if len(outA) != len(outB) {
+		t.Fatalf("output length: per-entry %d, batched %d", len(outA), len(outB))
+	}
+	for i := range outA {
+		if outA[i] != outB[i] {
+			t.Fatalf("output %d diverged: per-entry %+v, batched %+v", i, outA[i], outB[i])
+		}
+	}
+	ta, tb := perEntry.Templates(), batched.Templates()
+	if len(ta) != len(tb) {
+		t.Fatalf("templates: per-entry %d, batched %d", len(ta), len(tb))
+	}
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("template %d diverged: per-entry %+v, batched %+v", i, ta[i], tb[i])
+		}
+	}
+}
+
 // TestShardedConcurrentAdds hammers the engine from 8 goroutines (each
 // owning disjoint users, preserving the per-user ordering contract) and
 // checks nothing is lost or double-counted. Run with -race.

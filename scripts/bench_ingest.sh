@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Ingest-path benchmark of record: drive a crash-durable sqlcleand running
+# its strictest journal policy (-fsync always) with loggen's closed-loop
+# replay harness, and snapshot throughput, latency percentiles, drain time
+# and the group-commit fsync amortization (fsyncs per 1k accepted entries,
+# entries per group-commit fsync — scraped from /metrics deltas).
+#
+# Default mode refreshes the committed BENCH_ingest.json baseline
+# (`make bench-ingest`). With COMPARE=1 the results are instead diffed
+# against that baseline through `benchjson -compare` warn-only
+# (`make bench-ingest-compare`, the CI wiring) — end-to-end timings on
+# shared runners are too noisy for a hard gate, but the delta table makes
+# an ingest-path regression visible at review time.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=${BIN:-./bin/sqlcleand}
+ADDR=${ADDR:-127.0.0.1:18341}
+CLIENTS=${CLIENTS:-32}
+DURATION=${DURATION:-5s}
+SCALE=${SCALE:-0.5}
+BATCH=${BATCH:-100}
+TMP=$(mktemp -d)
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+"$BIN" -addr "$ADDR" -data-dir "$TMP/data" -fsync always 2>"$TMP/daemon.log" &
+PID=$!
+for i in $(seq 1 50); do
+  if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "bench-ingest: daemon died:" >&2; cat "$TMP/daemon.log" >&2; exit 1
+  fi
+  sleep 0.1
+done
+
+go run ./cmd/loggen -replay "$ADDR" -scale "$SCALE" -clients "$CLIENTS" \
+  -batch "$BATCH" -rate 0 -duration "$DURATION" -bench-out "$TMP/replay.json" \
+  | tee "$TMP/bench.txt"
+
+# The fsync amortization line is the point of this benchmark: its absence
+# means the daemon was not journaling (or /metrics went missing) and the
+# run measured the wrong thing.
+grep -q 'BenchmarkReplayFsyncsPer1kEntries' "$TMP/bench.txt" || {
+  echo "bench-ingest: no fsyncs-per-entry line — daemon not journaling?" >&2
+  cat "$TMP/daemon.log" >&2; exit 1
+}
+
+kill -TERM "$PID"
+wait "$PID"
+
+if [ "${COMPARE:-0}" = "1" ]; then
+  go run ./cmd/benchjson -compare BENCH_ingest.json -threshold 40 -warn-only \
+    <"$TMP/bench.txt"
+else
+  cp "$TMP/replay.json" BENCH_ingest.json
+  echo "bench-ingest: wrote BENCH_ingest.json"
+fi
